@@ -1,0 +1,143 @@
+// Command ecost-bench regenerates the paper's evaluation artifacts —
+// every table and figure — against the simulated testbed and prints them
+// as aligned text tables.
+//
+// Usage:
+//
+//	ecost-bench [-exp all|fig1|fig2|fig3|fig5|table1|table2|table3|fig8|fig9] [-fast] [-nodes 1,2,4,8]
+//
+// -fast builds a coarser database (unit-test fidelity) for a quick look;
+// the default configuration reproduces the EXPERIMENTS.md numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ecost/internal/experiments"
+	"ecost/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig3, fig5, table1, table2, table3, fig8, fig9, ablations, online")
+	fast := flag.Bool("fast", false, "use the fast (coarse) environment")
+	nodesFlag := flag.String("nodes", "1,2,4,8", "cluster sizes for fig9")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var nodes []int
+	for _, part := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "ecost-bench: bad -nodes entry %q\n", part)
+			os.Exit(2)
+		}
+		nodes = append(nodes, n)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Table 3 needs no environment.
+	if want("table3") {
+		fmt.Println(experiments.Table3Workloads())
+		if *exp == "table3" {
+			return
+		}
+	}
+
+	opt := experiments.DefaultOptions()
+	if *fast {
+		opt = experiments.FastOptions()
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building environment (database + models)...\n")
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	writeCSV := func(name string, tbl experiments.Table) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tbl.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string, f func() (experiments.Table, error)) {
+		if !want(name) {
+			return
+		}
+		t0 := time.Now()
+		tbl, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		writeCSV(name, tbl)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("fig1", func() (experiments.Table, error) { t, _, err := experiments.Fig1PCA(env); return t, err })
+	run("fig2", func() (experiments.Table, error) { t, _, err := experiments.Fig2EDPImprovement(env); return t, err })
+	run("fig3", func() (experiments.Table, error) { t, _, err := experiments.Fig3ColaoVsIlao(env); return t, err })
+	run("fig5", func() (experiments.Table, error) { t, _, err := experiments.Fig5PriorityRanking(env); return t, err })
+	run("table1", func() (experiments.Table, error) { t, _, err := experiments.Table1ModelAPE(env); return t, err })
+	run("table2", func() (experiments.Table, error) { t, _, err := experiments.Table2PredictedConfigs(env); return t, err })
+	run("fig8", func() (experiments.Table, error) { t, _, err := experiments.Fig8Overheads(env); return t, err })
+	run("fig9", func() (experiments.Table, error) {
+		t, _, err := experiments.Fig9MappingPolicies(env, nodes)
+		return t, err
+	})
+	run("ablations", func() (experiments.Table, error) {
+		t1, _, err := experiments.AblationDecoupling(env, "WS4", 2)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		fmt.Println(t1)
+		t2, _, err := experiments.AblationNoise(env, nil)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		fmt.Println(t2)
+		t3, _, err := experiments.AblationBeyondTwo(env)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		fmt.Println(t3)
+		t4, _, err := experiments.AblationSizeAware(env, 2)
+		return t4, err
+	})
+	run("online", func() (experiments.Table, error) {
+		t, _, err := experiments.OnlineTrace(env, trace.Spec{
+			N: 32, MeanInterarrival: 180, Poisson: true, UnknownOnly: true, Seed: 42,
+		}, 4)
+		return t, err
+	})
+}

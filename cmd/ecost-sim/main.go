@@ -1,0 +1,110 @@
+// Command ecost-sim runs one workload scenario through a mapping policy
+// on a simulated cluster — either in batch mode (the Figure-9 runner) or
+// as an online, event-driven simulation with Poisson arrivals through
+// the full ECoST pipeline (profile → classify → queue → pair → tune).
+//
+// Usage:
+//
+//	ecost-sim -scenario WS4 -policy ECoST -nodes 4
+//	ecost-sim -scenario WS8 -online -nodes 2 -arrival 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecost/internal/cluster"
+	"ecost/internal/core"
+	"ecost/internal/experiments"
+	"ecost/internal/mapreduce"
+	"ecost/internal/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "WS4", "workload scenario WS1..WS8")
+	policy := flag.String("policy", "ECoST", "mapping policy: SM, MNM1, MNM2, SNM, CBM, PTM, ECoST, UB")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	online := flag.Bool("online", false, "run the event-driven online scheduler instead of batch mapping")
+	arrival := flag.Float64("arrival", 0, "mean inter-arrival seconds for -online (0 = all at t=0)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	wl, err := core.Scenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("scenario %s %s\n%s\n\n", wl.Name, wl.ClassSignature(), wl.AppSignature())
+
+	fmt.Fprintln(os.Stderr, "building environment...")
+	env, err := experiments.NewEnv(experiments.FastOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(1)
+	}
+
+	if *online {
+		runOnline(env, wl, *nodes, *arrival, *seed)
+		return
+	}
+
+	var pol core.Policy
+	found := false
+	for _, p := range core.Policies() {
+		if p.String() == *policy {
+			pol, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "ecost-sim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	runner := &core.PolicyRunner{Oracle: env.Oracle, DB: env.DB, Tuner: env.LkT, Profiler: env.Profiler}
+	res, err := runner.Run(pol, wl, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(1)
+	}
+	ub, err := runner.Run(core.UB, wl, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy %v on %d node(s):\n", pol, *nodes)
+	fmt.Printf("  makespan  %.0f s\n", res.Makespan)
+	fmt.Printf("  energy    %.0f J\n", res.EnergyJ)
+	fmt.Printf("  EDP       %.4g J·s\n", res.EDP)
+	fmt.Printf("  vs UB     %.2fx (UB EDP %.4g)\n", res.EDP/ub.EDP, ub.EDP)
+}
+
+func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float64, seed int64) {
+	eng := sim.NewEngine()
+	model := mapreduce.NewModel(cluster.AtomC2758())
+	sched, err := core.NewOnlineScheduler(eng, model, env.DB, env.LkT, env.Profiler, nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(1)
+	}
+	rng := sim.NewRNG(seed)
+	at := 0.0
+	for _, j := range wl.Jobs {
+		sched.Submit(j.App, j.SizeGB, at)
+		if arrival > 0 {
+			at += rng.Exp(arrival)
+		}
+	}
+	makespan, energy, err := sched.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("online ECoST on %d node(s), mean inter-arrival %.0fs:\n", nodes, arrival)
+	fmt.Printf("  makespan %.0f s, energy %.0f J, EDP %.4g J·s\n\n", makespan, energy, energy*makespan)
+	fmt.Printf("%-4s %-5s %-6s %-5s %9s %9s %9s %5s %s\n",
+		"id", "app", "class", "size", "submit", "start", "finish", "node", "config")
+	for _, c := range sched.Completed() {
+		fmt.Printf("%-4d %-5s %-6v %4.0fG %9.0f %9.0f %9.0f %5d %v\n",
+			c.ID, c.App, c.Class, c.SizeGB, c.Submitted, c.Started, c.Finished, c.Node, c.Cfg)
+	}
+}

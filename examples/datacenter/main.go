@@ -1,0 +1,73 @@
+// Datacenter: the scalability study in miniature (Figure 9).
+//
+// It runs the paper's workload scenarios through every application
+// mapping policy on a cluster — untuned serial/spread mappings (SM,
+// MNM1, MNM2), per-node mappings (SNM, CBM), tuning-only (PTM), the full
+// ECoST pipeline, and the brute-force upper bound (UB) — and prints the
+// EDP of each policy normalized to UB.
+//
+// Run with: go run ./examples/datacenter [nodes]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"ecost/internal/core"
+	"ecost/internal/experiments"
+)
+
+func main() {
+	nodes := 2
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n < 1 {
+			log.Fatalf("usage: datacenter [nodes]")
+		}
+		nodes = n
+	}
+
+	fmt.Println("building ECoST knowledge base...")
+	env, err := experiments.NewEnv(experiments.FastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := &core.PolicyRunner{
+		Oracle:   env.Oracle,
+		DB:       env.DB,
+		Tuner:    env.LkT, // most accurate on the coarse demo database
+		Profiler: env.Profiler,
+	}
+
+	scenarios := []string{"WS3", "WS4", "WS8"} // I/O-only, mixed, all-classes
+	fmt.Printf("\nEDP normalized to the brute-force upper bound (UB = 1.00), %d node(s):\n\n", nodes)
+	fmt.Printf("%-9s", "scenario")
+	for _, p := range core.Policies() {
+		fmt.Printf("%8s", p)
+	}
+	fmt.Println()
+	for _, name := range scenarios {
+		wl, err := core.Scenario(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ub, err := runner.Run(core.UB, wl, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s", name)
+		for _, p := range core.Policies() {
+			res, err := runner.Run(p, wl, nodes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.2f", res.EDP/ub.EDP)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSM/MNM/SNM/CBM run untuned (max frequency, 128MB blocks);")
+	fmt.Println("PTM tunes without pairing; ECoST pairs by the class decision tree and tunes with LkT-STP")
+	fmt.Println("(the most accurate technique on this demo's coarse database; see EXPERIMENTS.md).")
+}

@@ -1,0 +1,3 @@
+module ecost
+
+go 1.22

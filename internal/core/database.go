@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/workloads"
+)
+
+// ClassPair is an unordered pair of behaviour classes, the unit the
+// paper's per-class models and priority ranking are organized around.
+type ClassPair struct{ A, B workloads.Class }
+
+// NewClassPair returns the canonical (sorted) form.
+func NewClassPair(a, b workloads.Class) ClassPair {
+	if b < a {
+		a, b = b, a
+	}
+	return ClassPair{a, b}
+}
+
+// String renders "C-M" style labels like the paper's tables.
+func (p ClassPair) String() string { return p.A.String() + "-" + p.B.String() }
+
+// AllClassPairs lists the 10 unordered class pairs in the paper's order.
+func AllClassPairs() []ClassPair {
+	cs := workloads.Classes()
+	var out []ClassPair
+	for i, a := range cs {
+		for _, b := range cs[i:] {
+			out = append(out, NewClassPair(a, b))
+		}
+	}
+	return out
+}
+
+// DBEntry is one database record: the COLAO-optimal configuration for a
+// known co-located pair (§6.2 — "the database is populated with the best
+// results for various co-located applications").
+type DBEntry struct {
+	A, B Observation
+	Best PairBest
+}
+
+// TrainRow is one supervised example for the MLM-STP models: the two
+// applications' data sizes plus the joint configuration, and the
+// resulting EDP. The application *features* select which class-pair
+// model to use (Figure 7, step 3); the model itself is then evaluated
+// over "all permutations of tunable parameters" (step 4), so its inputs
+// are the permutation — keeping prediction strictly in-distribution
+// even for unknown applications.
+//
+// RelEDP is the pair's EDP at this configuration divided by its EDP at
+// the untuned baseline configuration: the models learn the configuration
+// *response surface* (which is what the class structure determines)
+// rather than the pair's absolute magnitude, and the argmin over
+// configurations is unchanged because the baseline is constant per pair.
+type TrainRow struct {
+	X      []float64 // sizes + knobs + interactions (see ConfigRow)
+	EDP    float64
+	RelEDP float64
+	// FA and FB are the slot observations' reduced feature vectors
+	// (shared across the entry's rows). Feature-aware models append them
+	// to X so they can distinguish application combinations within a
+	// class pair; see NewMLMSTPFeatures.
+	FA, FB []float64
+}
+
+// baselinePairConfig is the normalization reference for RelEDP: the
+// untuned even split.
+func baselinePairConfig(cores int) [2]mapreduce.Config {
+	return [2]mapreduce.Config{NTConfig(cores / 2), NTConfig(cores / 2)}
+}
+
+// Database is the offline knowledge ECoST builds from the training
+// applications: per-pair optimal configurations (the lookup table) and
+// per-class-pair training matrices for the learning models.
+type Database struct {
+	Entries []DBEntry
+	Rows    map[ClassPair][]TrainRow
+	classer *Classifier
+	oracle  *Oracle
+}
+
+// BuildOptions controls database construction cost.
+type BuildOptions struct {
+	// Sizes are the per-node data sizes to include (default: the paper's
+	// 1, 5, 10 GB).
+	Sizes []float64
+	// ConfigStride subsamples the joint configuration space when
+	// generating ML training rows: every stride-th configuration is
+	// evaluated (1 = all 11,200 per pair). Larger strides build faster.
+	ConfigStride int
+}
+
+// DefaultBuildOptions matches the paper's setup with a training-tractable
+// configuration sample.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{Sizes: workloads.DataSizesGB(), ConfigStride: 5}
+}
+
+// BuildDatabase profiles the training applications, runs the COLAO
+// search for every known pair and size combination, and assembles the
+// per-class-pair training matrices.
+func BuildDatabase(profiler *Profiler, oracle *Oracle, training []workloads.App, opt BuildOptions) (*Database, error) {
+	if len(training) == 0 {
+		return nil, fmt.Errorf("core: database: no training applications")
+	}
+	if len(opt.Sizes) == 0 {
+		opt.Sizes = workloads.DataSizesGB()
+	}
+	if opt.ConfigStride < 1 {
+		opt.ConfigStride = 1
+	}
+
+	// Profile every (app, size) once, noise-free: the database stores the
+	// asymptotic feature vectors (the paper averages repeated runs).
+	var obs []Observation
+	for _, app := range training {
+		for _, size := range opt.Sizes {
+			o, err := profiler.ObserveExact(app, size)
+			if err != nil {
+				return nil, err
+			}
+			obs = append(obs, o)
+		}
+	}
+	classer, err := NewClassifier(obs)
+	if err != nil {
+		return nil, err
+	}
+
+	db := &Database{
+		Rows:    make(map[ClassPair][]TrainRow),
+		classer: classer,
+		oracle:  oracle,
+	}
+	configs := mapreduce.PairConfigsCached(oracle.Model.Spec.Cores)
+	for i := 0; i < len(obs); i++ {
+		for j := i; j < len(obs); j++ {
+			a, b := obs[i], obs[j]
+			best, err := oracle.COLAO(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024)
+			if err != nil {
+				return nil, err
+			}
+			db.Entries = append(db.Entries, DBEntry{A: a, B: b, Best: best})
+
+			base, err := oracle.EvalPair(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024,
+				baselinePairConfig(oracle.Model.Spec.Cores))
+			if err != nil {
+				return nil, err
+			}
+			cp := NewClassPair(a.App.Class, b.App.Class)
+			caObs, cbObs := a, b
+			if slotLess(b, a) {
+				caObs, cbObs = b, a
+			}
+			fa, fb := caObs.Reduced(), cbObs.Reduced()
+			for k := 0; k < len(configs); k += opt.ConfigStride {
+				pc := configs[k]
+				co, err := oracle.EvalPair(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024, pc)
+				if err != nil {
+					return nil, err
+				}
+				// Canonical slot order so asymmetric class pairs always
+				// see the lower class in slot 0 (prediction swaps the
+				// same way and swaps the answer back).
+				ca, cb, pcc := a, b, pc
+				if slotLess(b, a) {
+					ca, cb = b, a
+					pcc[0], pcc[1] = pc[1], pc[0]
+				}
+				db.Rows[cp] = append(db.Rows[cp], TrainRow{
+					X:      ConfigRow(ca.SizeGB, cb.SizeGB, pcc),
+					EDP:    co.EDP,
+					RelEDP: co.EDP / base.EDP,
+					FA:     fa,
+					FB:     fb,
+				})
+			}
+		}
+	}
+	return db, nil
+}
+
+// ConfigRow assembles the model input for one tunable-parameter
+// permutation: both data sizes, the six knobs, and engineered
+// interaction terms. The interactions matter most for the linear model:
+// without them an OLS argmin over a box always lands on a vertex; with
+// the split-count and mapper-product terms it can prefer interior
+// mapper splits and block sizes, which is how Weka-era linear models
+// were actually used on this kind of tuning data.
+func ConfigRow(sizeA, sizeB float64, cfg [2]mapreduce.Config) []float64 {
+	f1, b1, m1 := float64(cfg[0].Freq), float64(cfg[0].Block), float64(cfg[0].Mappers)
+	f2, b2, m2 := float64(cfg[1].Freq), float64(cfg[1].Block), float64(cfg[1].Mappers)
+	splitsA := sizeA * 1024 / b1
+	splitsB := sizeB * 1024 / b2
+	return []float64{
+		sizeA, sizeB,
+		f1, b1, m1, f2, b2, m2,
+		m1 + m2, m1 * m2, // core allocation balance
+		1 / m1, 1 / m2, // serialization of each slot
+		f1 * m1, f2 * m2, // active dynamic power proxy
+		splitsA, splitsB, // task counts
+		splitsA / m1, splitsB / m2, // wave counts
+		m1 * b1, m2 * b2, // memory-pressure proxy
+	}
+}
+
+// slotLess orders observations into canonical model slots: by class,
+// then data size, then application name.
+func slotLess(a, b Observation) bool {
+	if a.App.Class != b.App.Class {
+		return a.App.Class < b.App.Class
+	}
+	if a.SizeGB != b.SizeGB {
+		return a.SizeGB < b.SizeGB
+	}
+	return a.App.Name < b.App.Name
+}
+
+// Classifier returns the classifier trained on the database's
+// observations.
+func (db *Database) Classifier() *Classifier { return db.classer }
+
+// Oracle returns the oracle used to build the database.
+func (db *Database) Oracle() *Oracle { return db.oracle }
+
+// LookupBest returns the stored optimal configuration for the known pair
+// most resembling (a, b): the LkT-STP scan of §6.4. The match score is
+// the summed feature distance of both slots (tried in both orders).
+func (db *Database) LookupBest(a, b Observation) (PairBest, error) {
+	if len(db.Entries) == 0 {
+		return PairBest{}, fmt.Errorf("core: lookup: empty database")
+	}
+	na := db.classer.NearestKnown(a)
+	nb := db.classer.NearestKnown(b)
+	var found *DBEntry
+	swapped := false
+	for i := range db.Entries {
+		e := &db.Entries[i]
+		if e.A.App.Name == na.App.Name && e.A.SizeGB == na.SizeGB &&
+			e.B.App.Name == nb.App.Name && e.B.SizeGB == nb.SizeGB {
+			found = e
+			swapped = false
+			break
+		}
+		if e.A.App.Name == nb.App.Name && e.A.SizeGB == nb.SizeGB &&
+			e.B.App.Name == na.App.Name && e.B.SizeGB == na.SizeGB {
+			found = e
+			swapped = true
+		}
+	}
+	if found == nil {
+		return PairBest{}, fmt.Errorf("core: lookup: no entry for %s/%s", na.App.Name, nb.App.Name)
+	}
+	return unswap(found.Best, swapped), nil
+}
+
+// pairBenefits computes, per class pair, the mean co-location benefit
+// across the database: ILAO EDP ÷ COLAO EDP. The paper ranks class pairs
+// by the lowest pair EDP across core partitionings (Figure 5); its
+// applications have comparable standalone weight, so absolute EDP works
+// there. Our calibrated applications differ in intrinsic heaviness, so
+// the ranking normalizes each pair by its own ILAO baseline — the same
+// ordering signal (how much does co-locating this class combination
+// help) without the per-application weight.
+func (db *Database) pairBenefits() map[ClassPair]float64 {
+	sums := map[ClassPair]float64{}
+	counts := map[ClassPair]int{}
+	for _, e := range db.Entries {
+		ilao, _, err := db.oracle.ILAO(e.A.App, e.A.SizeGB*1024, e.B.App, e.B.SizeGB*1024)
+		if err != nil || e.Best.Out.EDP <= 0 {
+			continue
+		}
+		cp := NewClassPair(e.A.App.Class, e.B.App.Class)
+		sums[cp] += ilao / e.Best.Out.EDP
+		counts[cp]++
+	}
+	out := map[ClassPair]float64{}
+	for cp, s := range sums {
+		out[cp] = s / float64(counts[cp])
+	}
+	return out
+}
+
+// PriorityRanking derives the class-pair ranking of Figure 5: class
+// pairs ordered by co-location benefit, descending. I-I ranks first;
+// M-M last.
+func (db *Database) PriorityRanking() []RankedPair {
+	var out []RankedPair
+	for cp, b := range db.pairBenefits() {
+		out = append(out, RankedPair{Pair: cp, Benefit: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benefit != out[j].Benefit {
+			return out[i].Benefit > out[j].Benefit
+		}
+		return out[i].Pair.String() < out[j].Pair.String()
+	})
+	return out
+}
+
+// RankedPair is one row of the Figure-5 ranking.
+type RankedPair struct {
+	Pair ClassPair
+	// Benefit is the mean ILAO/COLAO EDP ratio for the class pair:
+	// >1 means co-locating this combination beats running it serially.
+	Benefit float64
+}
+
+// PartnerPriority distils the ranking into the scheduler's decision
+// order: given a running application's class, which partner class to
+// prefer from the wait queue (the paper reads I first, then H/C, then M
+// off Figure 5; here the order falls out of the database).
+func (db *Database) PartnerPriority(running workloads.Class) []workloads.Class {
+	benefits := db.pairBenefits()
+	type score struct {
+		c workloads.Class
+		b float64
+	}
+	var scores []score
+	for _, c := range workloads.Classes() {
+		if b, ok := benefits[NewClassPair(running, c)]; ok {
+			scores = append(scores, score{c, b})
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].b != scores[j].b {
+			return scores[i].b > scores[j].b
+		}
+		return scores[i].c < scores[j].c
+	})
+	out := make([]workloads.Class, len(scores))
+	for i, s := range scores {
+		out[i] = s.c
+	}
+	return out
+}

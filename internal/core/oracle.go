@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/workloads"
+)
+
+// SoloBest is the result of tuning one application in isolation: the
+// configuration minimizing its standalone EDP (the per-application step
+// of ILAO).
+type SoloBest struct {
+	Cfg mapreduce.Config
+	Out mapreduce.CoOutcome
+}
+
+// PairBest is the result of the COLAO brute-force search for one
+// co-located pair: the joint configuration minimizing node EDP.
+type PairBest struct {
+	Cfg [2]mapreduce.Config
+	Out mapreduce.CoOutcome
+}
+
+// Oracle runs the brute-force searches of the paper (§4.2) against the
+// execution model, memoizing results: the full COLAO search for a pair
+// covers every joint knob setting with m1+m2 ≤ cores (the study's
+// 84,480-run budget collapses to milliseconds on the analytic model).
+type Oracle struct {
+	Model *mapreduce.Model
+
+	solo map[soloKey]SoloBest
+	pair map[pairKey]PairBest
+}
+
+type soloKey struct {
+	app  string
+	data float64
+}
+
+type pairKey struct {
+	appA  string
+	dataA float64
+	appB  string
+	dataB float64
+}
+
+func canonPair(a workloads.App, dataA float64, b workloads.App, dataB float64) (pairKey, bool) {
+	if a.Name < b.Name || (a.Name == b.Name && dataA <= dataB) {
+		return pairKey{a.Name, dataA, b.Name, dataB}, false
+	}
+	return pairKey{b.Name, dataB, a.Name, dataA}, true
+}
+
+// NewOracle returns a memoizing oracle over the given model.
+func NewOracle(m *mapreduce.Model) *Oracle {
+	return &Oracle{
+		Model: m,
+		solo:  make(map[soloKey]SoloBest),
+		pair:  make(map[pairKey]PairBest),
+	}
+}
+
+// BestSolo exhaustively tunes one application running alone.
+func (o *Oracle) BestSolo(app workloads.App, dataMB float64) (SoloBest, error) {
+	k := soloKey{app.Name, dataMB}
+	if b, ok := o.solo[k]; ok {
+		return b, nil
+	}
+	best := SoloBest{}
+	bestEDP := math.Inf(1)
+	for _, cfg := range mapreduce.AllConfigs(o.Model.Spec.Cores) {
+		_, co, err := o.Model.Solo(mapreduce.RunSpec{App: app, DataMB: dataMB, Cfg: cfg})
+		if err != nil {
+			return SoloBest{}, fmt.Errorf("core: solo oracle %s: %w", app.Name, err)
+		}
+		if co.EDP < bestEDP {
+			bestEDP = co.EDP
+			best = SoloBest{Cfg: cfg, Out: co}
+		}
+	}
+	o.solo[k] = best
+	return best, nil
+}
+
+// ILAO evaluates the individually-located application optimization
+// baseline for a pair: each application is tuned alone and the pair runs
+// serially, so the workload's energy is the sum and its delay the sum.
+func (o *Oracle) ILAO(a workloads.App, dataA float64, b workloads.App, dataB float64) (edp float64, cfgs [2]mapreduce.Config, err error) {
+	ba, err := o.BestSolo(a, dataA)
+	if err != nil {
+		return 0, cfgs, err
+	}
+	bb, err := o.BestSolo(b, dataB)
+	if err != nil {
+		return 0, cfgs, err
+	}
+	energy := ba.Out.EnergyJ + bb.Out.EnergyJ
+	delay := ba.Out.Makespan + bb.Out.Makespan
+	return energy * delay, [2]mapreduce.Config{ba.Cfg, bb.Cfg}, nil
+}
+
+// COLAO evaluates the co-located application optimization oracle: a
+// brute-force search over the joint configuration space for the pair.
+func (o *Oracle) COLAO(a workloads.App, dataA float64, b workloads.App, dataB float64) (PairBest, error) {
+	k, swapped := canonPair(a, dataA, b, dataB)
+	if best, ok := o.pair[k]; ok {
+		return unswap(best, swapped), nil
+	}
+	ca, cb := a, b
+	da, db := dataA, dataB
+	if swapped {
+		ca, cb, da, db = b, a, dataB, dataA
+	}
+	best, err := o.searchPair(ca, da, cb, db)
+	if err != nil {
+		return PairBest{}, err
+	}
+	o.pair[k] = best
+	return unswap(best, swapped), nil
+}
+
+// searchPair scans the 11,200-point joint configuration space with a
+// pool of worker goroutines (the execution model is pure, so the scan is
+// embarrassingly parallel). Each worker keeps its chunk's argmin; the
+// merge breaks EDP ties by configuration index, so the result is
+// bit-identical to the serial scan regardless of worker count.
+func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dataB float64) (PairBest, error) {
+	pcs := mapreduce.PairConfigsCached(o.Model.Spec.Cores)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pcs) {
+		workers = len(pcs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type localBest struct {
+		idx  int
+		out  mapreduce.CoOutcome
+		err  error
+		edp  float64
+		seen bool
+	}
+	results := make([]localBest, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pcs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pcs) {
+			hi = len(pcs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lb := localBest{edp: math.Inf(1)}
+			for i := lo; i < hi; i++ {
+				co, err := o.Model.Pair(
+					mapreduce.RunSpec{App: a, DataMB: dataA, Cfg: pcs[i][0]},
+					mapreduce.RunSpec{App: b, DataMB: dataB, Cfg: pcs[i][1]},
+				)
+				if err != nil {
+					lb.err = err
+					break
+				}
+				if co.EDP < lb.edp {
+					lb = localBest{idx: i, out: co, edp: co.EDP, seen: true}
+				}
+			}
+			results[w] = lb
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := localBest{edp: math.Inf(1)}
+	for _, lb := range results {
+		if lb.err != nil {
+			return PairBest{}, fmt.Errorf("core: COLAO %s+%s: %w", a.Name, b.Name, lb.err)
+		}
+		if !lb.seen {
+			continue
+		}
+		if lb.edp < merged.edp || (lb.edp == merged.edp && merged.seen && lb.idx < merged.idx) {
+			merged = lb
+		}
+	}
+	if !merged.seen {
+		return PairBest{}, fmt.Errorf("core: COLAO %s+%s: empty configuration space", a.Name, b.Name)
+	}
+	return PairBest{Cfg: pcs[merged.idx], Out: merged.out}, nil
+}
+
+func unswap(b PairBest, swapped bool) PairBest {
+	if !swapped {
+		return b
+	}
+	b.Cfg[0], b.Cfg[1] = b.Cfg[1], b.Cfg[0]
+	if len(b.Out.Apps) == 2 {
+		apps := make([]mapreduce.Outcome, 2)
+		apps[0], apps[1] = b.Out.Apps[1], b.Out.Apps[0]
+		b.Out.Apps = apps
+	}
+	return b
+}
+
+// EvalPair runs the pair at a given joint configuration (used to score
+// STP-predicted configurations against the oracle).
+func (o *Oracle) EvalPair(a workloads.App, dataA float64, b workloads.App, dataB float64, cfg [2]mapreduce.Config) (mapreduce.CoOutcome, error) {
+	return o.Model.Pair(
+		mapreduce.RunSpec{App: a, DataMB: dataA, Cfg: cfg[0]},
+		mapreduce.RunSpec{App: b, DataMB: dataB, Cfg: cfg[1]},
+	)
+}
+
+// CachedPairs reports how many COLAO searches have been memoized.
+func (o *Oracle) CachedPairs() int { return len(o.pair) }

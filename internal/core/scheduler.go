@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/sim"
+	"ecost/internal/workloads"
+)
+
+// OnlineScheduler is the event-driven form of ECoST (Figure 4): jobs
+// arrive over time, are profiled and classified, wait in the FIFO queue
+// with head reservation, and are co-located onto nodes by the pairing
+// decision tree with STP-tuned configurations. Job progress follows the
+// execution model's fluid contention solver, recomputed whenever a
+// node's resident set changes.
+type OnlineScheduler struct {
+	Engine   *sim.Engine
+	Model    *mapreduce.Model
+	DB       *Database
+	Tuner    STP
+	Profiler *Profiler
+
+	// MaxPerNode caps co-located jobs per node (the paper fixes 2).
+	MaxPerNode int
+
+	queue *WaitQueue
+	nodes []*onlineNode
+
+	nextID    int
+	pending   int
+	completed []CompletedJob
+
+	// energy accounting
+	energyJ    float64
+	lastUpdate float64
+}
+
+// CompletedJob records one finished job for reporting.
+type CompletedJob struct {
+	ID        int
+	App       string
+	Class     workloads.Class
+	SizeGB    float64
+	Submitted float64
+	Started   float64
+	Finished  float64
+	Node      int
+	Cfg       mapreduce.Config
+}
+
+type onlineJob struct {
+	job     *Job
+	cfg     mapreduce.Config
+	rem     float64 // fraction of work remaining
+	started float64
+}
+
+type onlineNode struct {
+	id        int
+	residents []*onlineJob
+	event     *sim.Event // next completion event
+}
+
+// NewOnlineScheduler builds a scheduler over `nodes` single-node lanes.
+func NewOnlineScheduler(eng *sim.Engine, model *mapreduce.Model, db *Database, tuner STP, prof *Profiler, nodes int) (*OnlineScheduler, error) {
+	if eng == nil || model == nil || db == nil || tuner == nil || prof == nil {
+		return nil, fmt.Errorf("core: online scheduler: nil dependency")
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("core: online scheduler: need at least one node")
+	}
+	s := &OnlineScheduler{
+		Engine:     eng,
+		Model:      model,
+		DB:         db,
+		Tuner:      tuner,
+		Profiler:   prof,
+		MaxPerNode: 2,
+		queue:      NewWaitQueue(),
+	}
+	for i := 0; i < nodes; i++ {
+		s.nodes = append(s.nodes, &onlineNode{id: i})
+	}
+	return s, nil
+}
+
+// Submit schedules a job arrival at the given simulated time.
+func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
+	id := s.nextID
+	s.nextID++
+	s.pending++
+	s.Engine.At(at, func() {
+		obs, err := s.Profiler.Observe(app, sizeGB)
+		if err != nil {
+			panic(fmt.Sprintf("core: online profile: %v", err)) // model inputs are validated at Submit
+		}
+		j := &Job{
+			ID:      id,
+			Obs:     obs,
+			Class:   s.DB.Classifier().Classify(obs),
+			EstTime: sizeGB,
+			Arrived: at,
+		}
+		s.queue.Push(j)
+		s.dispatch()
+	})
+}
+
+// Completed returns the finished jobs sorted by completion time.
+func (s *OnlineScheduler) Completed() []CompletedJob {
+	out := append([]CompletedJob(nil), s.completed...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Finished < out[j].Finished })
+	return out
+}
+
+// EnergyJ returns the cluster energy integrated so far (all nodes,
+// including idle draw).
+func (s *OnlineScheduler) EnergyJ() float64 { return s.energyJ }
+
+// QueueLen reports the current wait-queue length.
+func (s *OnlineScheduler) QueueLen() int { return s.queue.Len() }
+
+// Run drives the simulation until all submitted jobs complete and
+// returns the makespan and total energy.
+func (s *OnlineScheduler) Run() (makespan, energyJ float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: online scheduler: %v", r)
+		}
+	}()
+	s.Engine.Run(0)
+	if s.pending > 0 {
+		return 0, 0, fmt.Errorf("core: online scheduler: %d jobs never completed", s.pending)
+	}
+	s.accrueEnergy() // close the last interval
+	return s.Engine.Now(), s.energyJ, nil
+}
+
+// accrueEnergy integrates cluster power since the last update.
+func (s *OnlineScheduler) accrueEnergy() {
+	now := s.Engine.Now()
+	dt := now - s.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	var watts float64
+	for _, n := range s.nodes {
+		_, w, err := s.Model.Steady(n.specs())
+		if err != nil {
+			panic(err)
+		}
+		watts += w
+	}
+	s.energyJ += watts * dt
+	s.lastUpdate = now
+}
+
+func (n *onlineNode) specs() []mapreduce.RunSpec {
+	out := make([]mapreduce.RunSpec, 0, len(n.residents))
+	for _, r := range n.residents {
+		out = append(out, mapreduce.RunSpec{
+			App:    r.job.Obs.App,
+			DataMB: r.job.Obs.SizeGB * 1024,
+			Cfg:    r.cfg,
+		})
+	}
+	return out
+}
+
+// dispatch places queued jobs: empty slots are filled head-first; a node
+// with one resident gets a partner chosen by the decision tree.
+func (s *OnlineScheduler) dispatch() {
+	for s.queue.Len() > 0 {
+		// Prefer pairing onto a half-busy node, then an empty node.
+		var target *onlineNode
+		for _, n := range s.nodes {
+			if len(n.residents) == 1 && s.MaxPerNode >= 2 {
+				target = n
+				break
+			}
+		}
+		if target == nil {
+			for _, n := range s.nodes {
+				if len(n.residents) == 0 {
+					target = n
+					break
+				}
+			}
+		}
+		if target == nil {
+			return // cluster full
+		}
+		var j *Job
+		if len(target.residents) == 1 {
+			running := target.residents[0].job.Class
+			j = s.queue.SelectPartner(running, s.DB.PartnerPriority(running))
+			if j != nil {
+				taken, err := s.queue.Take(j.ID)
+				if err != nil {
+					panic(err)
+				}
+				j = taken
+			}
+		} else {
+			j = s.queue.PopHead()
+		}
+		if j == nil {
+			return
+		}
+		s.place(target, j)
+	}
+}
+
+// place starts a job on a node and retunes the node's residents:
+// "after pairing, ECoST fine-tunes the architectural, system, and
+// application level parameters of the paired applications concurrently"
+// (§5). The resident application's frequency and mapper slots are
+// re-tuned live; its HDFS block size stays as loaded (data layout is
+// fixed once written).
+func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
+	s.accrueEnergy()
+	cfg := s.tuneFor(n, j)
+	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: s.Engine.Now()})
+	s.reschedule(n)
+}
+
+// tuneFor picks the new job's configuration, adjusting the resident's
+// frequency and mapper count to the pair-tuned values when co-locating.
+func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
+	if len(n.residents) == 1 {
+		resident := n.residents[0]
+		pairCfg, err := s.Tuner.PredictBest(resident.job.Obs, j.Obs)
+		if err == nil && pairCfg[0].Mappers+pairCfg[1].Mappers <= s.Model.Spec.Cores {
+			resident.cfg.Freq = pairCfg[0].Freq
+			resident.cfg.Mappers = pairCfg[0].Mappers
+			return pairCfg[1]
+		}
+	}
+	cfg, err := PredictSoloBest(s.Tuner, j.Obs, s.DB)
+	if err != nil {
+		cfg = NTConfig(s.Model.Spec.Cores / s.MaxPerNode)
+	}
+	free := s.Model.Spec.Cores
+	for _, r := range n.residents {
+		free -= r.cfg.Mappers
+	}
+	if cfg.Mappers > free {
+		cfg.Mappers = free
+	}
+	if cfg.Mappers < 1 {
+		cfg.Mappers = 1
+	}
+	return cfg
+}
+
+// reschedule recomputes the node's next completion event from the
+// current resident set's steady-state rates.
+func (s *OnlineScheduler) reschedule(n *onlineNode) {
+	if n.event != nil {
+		s.Engine.Cancel(n.event)
+		n.event = nil
+	}
+	if len(n.residents) == 0 {
+		return
+	}
+	sts, _, err := s.Model.Steady(n.specs())
+	if err != nil {
+		panic(err)
+	}
+	// Next finisher under current contention.
+	next := -1
+	nextDT := math.Inf(1)
+	for i, r := range n.residents {
+		dt := r.rem * sts[i].JobTime
+		if dt < nextDT {
+			next, nextDT = i, dt
+		}
+	}
+	if next < 0 {
+		return
+	}
+	// Record progress rates to advance remaining fractions at the event.
+	rates := make([]float64, len(n.residents))
+	for i := range n.residents {
+		rates[i] = 1 / sts[i].JobTime
+	}
+	finisher := n.residents[next]
+	n.event = s.Engine.After(nextDT, func() {
+		s.accrueEnergy()
+		for i, r := range n.residents {
+			r.rem -= nextDT * rates[i]
+			if r.rem < 0 {
+				r.rem = 0
+			}
+		}
+		// Remove the finisher.
+		for i, r := range n.residents {
+			if r == finisher {
+				n.residents = append(n.residents[:i], n.residents[i+1:]...)
+				break
+			}
+		}
+		s.pending--
+		s.completed = append(s.completed, CompletedJob{
+			ID:        finisher.job.ID,
+			App:       finisher.job.Obs.App.Name,
+			Class:     finisher.job.Class,
+			SizeGB:    finisher.job.Obs.SizeGB,
+			Submitted: finisher.job.Arrived,
+			Started:   finisher.started,
+			Finished:  s.Engine.Now(),
+			Node:      n.id,
+			Cfg:       finisher.cfg,
+		})
+		n.event = nil
+		s.reschedule(n)
+		s.dispatch()
+	})
+}

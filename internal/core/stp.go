@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/ml"
+)
+
+// STP is a self-tuning prediction technique: given the observations of
+// two co-located (possibly unknown) applications, it predicts the joint
+// configuration that minimizes the pair's EDP — without running the
+// brute-force search COLAO needs.
+type STP interface {
+	// Name identifies the technique in tables (LkT, LR, REPTree, MLP).
+	Name() string
+	// PredictBest returns the predicted-optimal joint configuration.
+	PredictBest(a, b Observation) ([2]mapreduce.Config, error)
+}
+
+// LkTSTP is the lookup-table technique (Figure 6): classify the two
+// incoming applications against the database and return the stored
+// optimal configuration of the best-resembling known pair.
+type LkTSTP struct {
+	DB *Database
+}
+
+// Name implements STP.
+func (s *LkTSTP) Name() string { return "LkT" }
+
+// PredictBest implements STP.
+func (s *LkTSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
+	best, err := s.DB.LookupBest(a, b)
+	if err != nil {
+		return [2]mapreduce.Config{}, err
+	}
+	return best.Cfg, nil
+}
+
+// MLMSTP is the machine-learning-model technique (Figure 7): one
+// regressor per class pair is trained on the database's (features,
+// configuration) → EDP rows; prediction classifies the incoming pair,
+// selects the class-pair model, evaluates it over every permutation of
+// the tunable parameters, and returns the argmin.
+// modelKey identifies one trained regressor: a class pair at one
+// data-size combination. Splitting by size combination keeps each
+// model's response surface unimodal over the knobs — pooling sizes lets
+// the argmin land in leaves whose statistics mix size regimes.
+type modelKey struct {
+	cp           ClassPair
+	sizeA, sizeB float64
+}
+
+type MLMSTP struct {
+	name        string
+	db          *Database
+	models      map[modelKey]ml.Regressor
+	useFeatures bool
+
+	trainTime time.Duration
+}
+
+// ModelFactory builds a fresh regressor (one is trained per class pair).
+type ModelFactory func() ml.Regressor
+
+// NewMLMSTP trains per-class-pair models from the database rows.
+func NewMLMSTP(name string, db *Database, factory ModelFactory) (*MLMSTP, error) {
+	return newMLMSTP(name, db, factory, 1, false)
+}
+
+// NewMLMSTPSampled is NewMLMSTP with every rowStride-th training row —
+// used to keep expensive models (the MLP) tractable on dense databases.
+func NewMLMSTPSampled(name string, db *Database, factory ModelFactory, rowStride int) (*MLMSTP, error) {
+	return newMLMSTP(name, db, factory, rowStride, false)
+}
+
+// NewMLMSTPFeatures trains models whose inputs include the two slot
+// applications' reduced feature vectors alongside the knobs, letting
+// tree models distinguish application combinations within a class pair
+// and route unknown applications to the most similar training surface.
+func NewMLMSTPFeatures(name string, db *Database, factory ModelFactory, rowStride int) (*MLMSTP, error) {
+	return newMLMSTP(name, db, factory, rowStride, true)
+}
+
+func newMLMSTP(name string, db *Database, factory ModelFactory, rowStride int, useFeatures bool) (*MLMSTP, error) {
+	if rowStride < 1 {
+		rowStride = 1
+	}
+	s := &MLMSTP{name: name, db: db, models: make(map[modelKey]ml.Regressor), useFeatures: useFeatures}
+	start := time.Now()
+	groups := make(map[modelKey][]TrainRow)
+	for cp, all := range db.Rows {
+		for i := 0; i < len(all); i += rowStride {
+			r := all[i]
+			groups[modelKey{cp, r.X[0], r.X[1]}] = append(groups[modelKey{cp, r.X[0], r.X[1]}], r)
+		}
+	}
+	for key, rows := range groups {
+		X := make([][]float64, len(rows))
+		y := make([]float64, len(rows))
+		for i, r := range rows {
+			X[i] = s.inputRow(r.FA, r.FB, r.X)
+			// Train on the log of the baseline-relative EDP: absolute EDP
+			// spans orders of magnitude across pairs and sizes, but the
+			// response to the knobs — what the argmin needs — is a small,
+			// class-determined surface. The monotone map leaves the
+			// argmin unchanged.
+			y[i] = math.Log(r.RelEDP)
+		}
+		m := factory()
+		if err := m.Train(X, y); err != nil {
+			return nil, fmt.Errorf("core: %s model for %v: %w", name, key.cp, err)
+		}
+		s.models[key] = m
+	}
+	s.trainTime = time.Since(start)
+	if len(s.models) == 0 {
+		return nil, fmt.Errorf("core: %s: database has no training rows", name)
+	}
+	return s, nil
+}
+
+// Models reports the number of trained per-(class-pair, size) models.
+func (s *MLMSTP) Models() int { return len(s.models) }
+
+// inputRow assembles a model input, prepending slot features when the
+// technique is feature-aware.
+func (s *MLMSTP) inputRow(fa, fb, cfgRow []float64) []float64 {
+	if !s.useFeatures {
+		return cfgRow
+	}
+	x := make([]float64, 0, len(fa)+len(fb)+len(cfgRow))
+	x = append(x, fa...)
+	x = append(x, fb...)
+	x = append(x, cfgRow...)
+	return x
+}
+
+// Name implements STP.
+func (s *MLMSTP) Name() string { return s.name }
+
+// TrainTime reports the wall-clock cost of training all class-pair
+// models (the Figure-8 overhead metric).
+func (s *MLMSTP) TrainTime() time.Duration { return s.trainTime }
+
+// model selects the trained regressor for two observations: the exact
+// (class pair, size combination) if present, otherwise the same class
+// pair at the nearest size combination, otherwise any model sharing a
+// class.
+func (s *MLMSTP) model(a, b Observation) (ml.Regressor, error) {
+	ca := s.db.Classifier().Classify(a)
+	cb := s.db.Classifier().Classify(b)
+	cp := NewClassPair(ca, cb)
+	sa, sb := a.SizeGB, b.SizeGB
+	if cb < ca || (ca == cb && sb < sa) {
+		sa, sb = sb, sa
+	}
+	if m, ok := s.models[modelKey{cp, sa, sb}]; ok {
+		return m, nil
+	}
+	// Nearest size combination within the class pair.
+	var best ml.Regressor
+	bestD := math.Inf(1)
+	for key, m := range s.models {
+		if key.cp != cp {
+			continue
+		}
+		d := math.Abs(math.Log(key.sizeA/sa)) + math.Abs(math.Log(key.sizeB/sb))
+		if d < bestD {
+			best, bestD = m, d
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	// Any model sharing a class, then any at all.
+	for key, m := range s.models {
+		if key.cp.A == ca || key.cp.B == ca || key.cp.A == cb || key.cp.B == cb {
+			return m, nil
+		}
+	}
+	for _, m := range s.models {
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: %s: no trained models", s.name)
+}
+
+// PredictBest implements STP: argmin of the selected class-pair model
+// over every permutation of the tunable parameters (Figure 7, step 4).
+func (s *MLMSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
+	m, err := s.model(a, b)
+	if err != nil {
+		return [2]mapreduce.Config{}, err
+	}
+	// Match the training slot canonicalization (see BuildDatabase), using
+	// the *classified* classes — the true identity stays hidden from the
+	// prediction path.
+	ca := s.db.Classifier().Classify(a)
+	cb := s.db.Classifier().Classify(b)
+	swapped := cb < ca || (ca == cb && b.SizeGB < a.SizeGB)
+	sa, sb := a, b
+	if swapped {
+		sa, sb = b, a
+	}
+	fa, fb := sa.Reduced(), sb.Reduced()
+	bestEDP := math.Inf(1)
+	var best [2]mapreduce.Config
+	found := false
+	for _, pc := range mapreduce.PairConfigsCached(s.db.Oracle().Model.Spec.Cores) {
+		pred := m.Predict(s.inputRow(fa, fb, ConfigRow(sa.SizeGB, sb.SizeGB, pc)))
+		if pred < bestEDP {
+			bestEDP = pred
+			best = pc
+			found = true
+		}
+	}
+	if !found {
+		return best, fmt.Errorf("core: %s: empty configuration space", s.name)
+	}
+	if swapped {
+		best[0], best[1] = best[1], best[0]
+	}
+	return best, nil
+}
+
+// PredictSoloBest predicts the best standalone configuration for one
+// application (used by the PTM mapping policy, which tunes without
+// pairing): the observation is paired with itself at a token 1-mapper
+// slot and the primary slot's knobs are returned.
+func PredictSoloBest(s STP, o Observation, db *Database) (mapreduce.Config, error) {
+	// LkT has a natural solo answer: the nearest known application's
+	// solo-optimal configuration.
+	near := db.Classifier().NearestKnown(o)
+	best, err := db.Oracle().BestSolo(near.App, near.SizeGB*1024)
+	if err != nil {
+		return mapreduce.Config{}, err
+	}
+	return best.Cfg, nil
+}
+
+// PredictRow returns the technique's baseline-relative EDP estimate for
+// one database row of the given class pair — used by the Table-1
+// training-accuracy experiment.
+func (s *MLMSTP) PredictRow(cp ClassPair, r TrainRow) (float64, error) {
+	m, ok := s.models[modelKey{cp, r.X[0], r.X[1]}]
+	if !ok {
+		return 0, fmt.Errorf("core: %s: no model for %v at sizes (%g,%g)", s.name, cp, r.X[0], r.X[1])
+	}
+	return math.Exp(m.Predict(s.inputRow(r.FA, r.FB, r.X))), nil
+}

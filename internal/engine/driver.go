@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Drivers chain MapReduce jobs the way Mahout's iterative algorithms do:
+// K-Means runs Lloyd steps until the centroids stop moving, PageRank
+// runs power iterations until the rank vector converges. Each iteration
+// is a full engine job; the driver threads state between them.
+
+// KMeansResult is the outcome of an iterative K-Means run.
+type KMeansResult struct {
+	Centers    [][2]float64
+	Iterations int
+	Converged  bool
+	Counters   []Counters // per-iteration statistics
+}
+
+// KMeans runs Lloyd iterations over the points until no centre moves
+// more than tol, or maxIter is reached.
+func KMeans(points []KV, initial [][2]float64, mappers, maxIter int, tol float64) (*KMeansResult, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("engine: kmeans: no initial centers")
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	if maxIter < 1 {
+		maxIter = 20
+	}
+	centers := append([][2]float64(nil), initial...)
+	splits := SplitRecords(points, mappers)
+	res := &KMeansResult{}
+	for it := 0; it < maxIter; it++ {
+		job := KMeansIteration(centers)
+		job.Mappers = mappers
+		job.Reducers = len(centers)
+		out, err := Run(job, splits)
+		if err != nil {
+			return nil, fmt.Errorf("engine: kmeans iteration %d: %w", it, err)
+		}
+		res.Counters = append(res.Counters, out.Counters)
+		res.Iterations = it + 1
+
+		next := append([][2]float64(nil), centers...)
+		for _, kv := range out.Output {
+			idx, err := strconv.Atoi(kv.Key)
+			if err != nil || idx < 0 || idx >= len(centers) {
+				continue
+			}
+			x, y, ok := parsePoint(kv.Value)
+			if ok {
+				next[idx] = [2]float64{x, y}
+			}
+		}
+		var worst float64
+		for i := range centers {
+			dx := next[i][0] - centers[i][0]
+			dy := next[i][1] - centers[i][1]
+			if d := math.Sqrt(dx*dx + dy*dy); d > worst {
+				worst = d
+			}
+		}
+		centers = next
+		if worst <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centers = centers
+	return res, nil
+}
+
+// PageRankResult is the outcome of an iterative PageRank run.
+type PageRankResult struct {
+	Ranks      map[string]float64
+	Iterations int
+	Converged  bool
+}
+
+// PageRank runs power iterations over the graph (in the adjacency
+// format of PageRankIteration) until the L1 change drops below tol.
+func PageRank(graph []KV, damping float64, mappers, maxIter int, tol float64) (*PageRankResult, error) {
+	if len(graph) == 0 {
+		return nil, fmt.Errorf("engine: pagerank: empty graph")
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if maxIter < 1 {
+		maxIter = 30
+	}
+	state := append([]KV(nil), graph...)
+	prev := ranksOf(state)
+	res := &PageRankResult{}
+	for it := 0; it < maxIter; it++ {
+		job := PageRankIteration(damping, len(graph))
+		job.Mappers = mappers
+		out, err := Run(job, SplitRecords(state, mappers))
+		if err != nil {
+			return nil, fmt.Errorf("engine: pagerank iteration %d: %w", it, err)
+		}
+		// The reduce output is the next iteration's input state.
+		state = state[:0]
+		for _, kv := range out.Output {
+			state = append(state, KV{Key: kv.Key, Value: kv.Key + "\t" + kv.Value})
+		}
+		res.Iterations = it + 1
+		cur := ranksOf(state)
+		var delta float64
+		for k, v := range cur {
+			delta += math.Abs(v - prev[k])
+		}
+		prev = cur
+		if delta <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = prev
+	return res, nil
+}
+
+// ranksOf extracts the rank column from adjacency-format records.
+func ranksOf(state []KV) map[string]float64 {
+	out := make(map[string]float64, len(state))
+	for _, kv := range state {
+		parts := strings.SplitN(kv.Value, "\t", 3)
+		if len(parts) < 2 {
+			continue
+		}
+		if r, err := strconv.ParseFloat(parts[1], 64); err == nil {
+			out[parts[0]] = r
+		}
+	}
+	return out
+}

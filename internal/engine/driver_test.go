@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKMeansConverges(t *testing.T) {
+	truth := [][2]float64{{0, 0}, {10, 0}, {5, 8}}
+	pts := Points(1500, truth, 0.4, 21)
+	initial := [][2]float64{{1, 1}, {8, 1}, {4, 6}}
+	res, err := KMeans(pts, initial, 4, 30, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("converged suspiciously fast (%d iterations)", res.Iterations)
+	}
+	// Each found centre must be near one true centre.
+	for _, c := range res.Centers {
+		best := math.Inf(1)
+		for _, tc := range truth {
+			d := math.Hypot(c[0]-tc[0], c[1]-tc[1])
+			if d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Errorf("center %v is %.2f away from any true center", c, best)
+		}
+	}
+	if len(res.Counters) != res.Iterations {
+		t.Errorf("%d counter records for %d iterations", len(res.Counters), res.Iterations)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, nil, 2, 5, 0.1); err == nil {
+		t.Error("no centers accepted")
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	graph := WebGraph(200, 5, 23)
+	res, err := PageRank(graph, 0.85, 4, 60, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	var total float64
+	for _, r := range res.Ranks {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		total += r
+	}
+	if math.Abs(total-1) > 0.05 {
+		t.Errorf("rank mass = %v, want ≈1", total)
+	}
+	if len(res.Ranks) != 200 {
+		t.Errorf("%d ranked pages, want 200", len(res.Ranks))
+	}
+}
+
+func TestPageRankHubGetsHigherRank(t *testing.T) {
+	// A star graph: every page links to p0; p0 links to p1.
+	var graph []KV
+	graph = append(graph, KV{Key: "p0", Value: "p0\t0.1\tp1"})
+	for i := 1; i < 10; i++ {
+		graph = append(graph, KV{
+			Key:   "p" + string(rune('0'+i)),
+			Value: "p" + string(rune('0'+i)) + "\t0.1\tp0",
+		})
+	}
+	res, err := PageRank(graph, 0.85, 2, 80, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for page, r := range res.Ranks {
+		if page == "p0" || page == "p1" {
+			continue
+		}
+		if res.Ranks["p0"] <= r {
+			t.Fatalf("hub p0 (%v) not above leaf %s (%v)", res.Ranks["p0"], page, r)
+		}
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	if _, err := PageRank(nil, 0.85, 2, 5, 0.1); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package engine is a real, in-process MapReduce execution engine: user
+// map and reduce functions run over actual input splits on a pool of
+// worker goroutines, with combiners, hash partitioning, and a sort-merge
+// shuffle. It is the live counterpart of the analytic model in
+// internal/mapreduce — the examples and the characterization path run
+// genuine computations here (word counting, sorting, grepping, …) and
+// feed the resulting resource profile to the same ECoST classifier the
+// simulator uses.
+//
+// The engine is deliberately shaped like Hadoop's API: jobs process
+// (key, value) records; map output is partitioned by key hash across
+// reducers; each reducer sees its keys in sorted order with all values
+// grouped.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KV is one key-value record.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc consumes one input record and emits zero or more intermediate
+// records through emit. Implementations must be safe for concurrent
+// calls (each mapper task invokes it from its own goroutine).
+type MapFunc func(key, value string, emit func(KV))
+
+// ReduceFunc consumes one intermediate key with all its values (sorted
+// order across keys) and emits zero or more output records.
+type ReduceFunc func(key string, values []string, emit func(KV))
+
+// Job describes one MapReduce execution.
+type Job struct {
+	Name   string
+	Map    MapFunc
+	Reduce ReduceFunc
+	// Combine, if non-nil, pre-aggregates map-side output per mapper
+	// (same contract as Reduce).
+	Combine ReduceFunc
+
+	// Mappers is the number of concurrent map tasks (defaults to the
+	// number of splits); Reducers the number of reduce partitions
+	// (defaults to 1).
+	Mappers  int
+	Reducers int
+}
+
+// Split is one input slice: a list of records a single map task
+// processes.
+type Split []KV
+
+// Counters aggregates execution statistics, mirroring Hadoop's job
+// counters.
+type Counters struct {
+	MapInputRecords     int64
+	MapOutputRecords    int64
+	CombineInputRecords int64
+	ReduceInputKeys     int64
+	ReduceInputRecords  int64
+	OutputRecords       int64
+	MapTasks            int64
+	ReduceTasks         int64
+
+	MapTime    time.Duration
+	ReduceTime time.Duration
+	TotalTime  time.Duration
+}
+
+// Result is a completed job's output and statistics.
+type Result struct {
+	Output   []KV // sorted by key, then value
+	Counters Counters
+}
+
+// partition assigns a key to a reducer with the FNV-1a hash, Hadoop's
+// default behaviour modulo the hash function.
+func partition(key string, reducers int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(reducers))
+}
+
+// Run executes the job over the given splits.
+func Run(job Job, splits []Split) (*Result, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("engine: job %q needs both map and reduce functions", job.Name)
+	}
+	if len(splits) == 0 {
+		return &Result{}, nil
+	}
+	reducers := job.Reducers
+	if reducers < 1 {
+		reducers = 1
+	}
+	mappers := job.Mappers
+	if mappers < 1 || mappers > len(splits) {
+		mappers = len(splits)
+	}
+
+	start := time.Now()
+	var ctr Counters
+	ctr.MapTasks = int64(len(splits))
+	ctr.ReduceTasks = int64(reducers)
+
+	// ---- Map phase: a bounded pool of mapper goroutines. ----
+	mapStart := time.Now()
+	type mapOut struct {
+		parts [][]KV // per-reducer
+		in    int64
+		out   int64
+		cmb   int64
+	}
+	outs := make([]mapOut, len(splits))
+	sem := make(chan struct{}, mappers)
+	var wg sync.WaitGroup
+	for si, split := range splits {
+		wg.Add(1)
+		go func(si int, split Split) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts := make([][]KV, reducers)
+			emit := func(kv KV) {
+				p := partition(kv.Key, reducers)
+				parts[p] = append(parts[p], kv)
+				outs[si].out++
+			}
+			for _, rec := range split {
+				outs[si].in++
+				job.Map(rec.Key, rec.Value, emit)
+			}
+			if job.Combine != nil {
+				for p := range parts {
+					outs[si].cmb += int64(len(parts[p]))
+					parts[p] = combine(job.Combine, parts[p])
+				}
+			}
+			outs[si].parts = parts
+		}(si, split)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		ctr.MapInputRecords += o.in
+		ctr.MapOutputRecords += o.out
+		ctr.CombineInputRecords += o.cmb
+	}
+	ctr.MapTime = time.Since(mapStart)
+
+	// ---- Shuffle + reduce phase. ----
+	redStart := time.Now()
+	type redOut struct {
+		kvs  []KV
+		keys int64
+		recs int64
+	}
+	redResults := make([]redOut, reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			// Merge this partition from every mapper.
+			var recs []KV
+			for _, o := range outs {
+				recs = append(recs, o.parts[r]...)
+			}
+			sort.Slice(recs, func(i, j int) bool {
+				if recs[i].Key != recs[j].Key {
+					return recs[i].Key < recs[j].Key
+				}
+				return recs[i].Value < recs[j].Value
+			})
+			emit := func(kv KV) { redResults[r].kvs = append(redResults[r].kvs, kv) }
+			for i := 0; i < len(recs); {
+				j := i
+				for j < len(recs) && recs[j].Key == recs[i].Key {
+					j++
+				}
+				values := make([]string, 0, j-i)
+				for k := i; k < j; k++ {
+					values = append(values, recs[k].Value)
+				}
+				redResults[r].keys++
+				redResults[r].recs += int64(j - i)
+				job.Reduce(recs[i].Key, values, emit)
+				i = j
+			}
+		}(r)
+	}
+	rwg.Wait()
+	var output []KV
+	for _, ro := range redResults {
+		ctr.ReduceInputKeys += ro.keys
+		ctr.ReduceInputRecords += ro.recs
+		output = append(output, ro.kvs...)
+	}
+	ctr.ReduceTime = time.Since(redStart)
+	sort.Slice(output, func(i, j int) bool {
+		if output[i].Key != output[j].Key {
+			return output[i].Key < output[j].Key
+		}
+		return output[i].Value < output[j].Value
+	})
+	ctr.OutputRecords = int64(len(output))
+	ctr.TotalTime = time.Since(start)
+	return &Result{Output: output, Counters: ctr}, nil
+}
+
+// combine runs a reduce-style function over a single mapper's partition
+// output (already local, unsorted): group, apply, return.
+func combine(fn ReduceFunc, recs []KV) []KV {
+	if len(recs) == 0 {
+		return recs
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Value < recs[j].Value
+	})
+	var out []KV
+	emit := func(kv KV) { out = append(out, kv) }
+	for i := 0; i < len(recs); {
+		j := i
+		for j < len(recs) && recs[j].Key == recs[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, recs[k].Value)
+		}
+		fn(recs[i].Key, values, emit)
+		i = j
+	}
+	return out
+}
+
+// SplitRecords divides records into n roughly equal splits (at least one
+// record per non-empty split).
+func SplitRecords(recs []KV, n int) []Split {
+	if len(recs) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(recs) {
+		n = len(recs)
+	}
+	out := make([]Split, 0, n)
+	per := (len(recs) + n - 1) / n
+	for i := 0; i < len(recs); i += per {
+		j := i + per
+		if j > len(recs) {
+			j = len(recs)
+		}
+		out = append(out, Split(recs[i:j]))
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationDecoupling(t *testing.T) {
+	env := sharedEnv(t)
+	_, data, err := AblationDecoupling(env, "WS4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"tree+tuned":    data.TreePairingTuned,
+		"arrival+tuned": data.ArrivalPairTuned,
+		"tree+NT":       data.TreePairingNT,
+		"arrival+NT":    data.ArrivalPairNT,
+	} {
+		if v < 0.95 || math.IsNaN(v) {
+			t.Errorf("%s EDP/UB = %v; nothing should beat the brute-force UB", name, v)
+		}
+	}
+	// Tuning must matter: untuned variants are clearly worse than tuned.
+	if data.TreePairingNT <= data.TreePairingTuned {
+		t.Errorf("untuned tree pairing (%v) not worse than tuned (%v)",
+			data.TreePairingNT, data.TreePairingTuned)
+	}
+	if data.ArrivalPairNT <= data.ArrivalPairTuned {
+		t.Errorf("untuned CBM (%v) not worse than tuned arrival pairing (%v)",
+			data.ArrivalPairNT, data.ArrivalPairTuned)
+	}
+}
+
+func TestAblationNoise(t *testing.T) {
+	env := sharedEnv(t)
+	_, data, err := AblationNoise(env, []float64{0, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Scale) != 3 || len(data.MeanErrPct) != 3 {
+		t.Fatalf("unexpected shape: %+v", data)
+	}
+	// Noise-free profiling must classify everything correctly.
+	if data.Misclassified[0] != 0 {
+		t.Errorf("noise-free run misclassified %d apps", data.Misclassified[0])
+	}
+	// Heavy noise should not *improve* tuning.
+	if data.MeanErrPct[2] < data.MeanErrPct[0]-5 {
+		t.Errorf("8x noise error %v%% better than noise-free %v%%",
+			data.MeanErrPct[2], data.MeanErrPct[0])
+	}
+}
+
+func TestAblationBeyondTwo(t *testing.T) {
+	env := sharedEnv(t)
+	_, data, err := AblationBeyondTwo(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Degree) != 3 {
+		t.Fatalf("degrees: %v", data.Degree)
+	}
+	if data.RelEDP[0] != 1 {
+		t.Errorf("2-way baseline = %v, want 1", data.RelEDP[0])
+	}
+	// §4.2: beyond two applications, efficiency degrades monotonically.
+	if data.RelEDP[1] <= data.RelEDP[0] {
+		t.Errorf("4-way (%v) not worse than 2-way", data.RelEDP[1])
+	}
+	if data.RelEDP[2] <= data.RelEDP[1] {
+		t.Errorf("8-way (%v) not worse than 4-way (%v)", data.RelEDP[2], data.RelEDP[1])
+	}
+}
+
+func TestAblationSizeAware(t *testing.T) {
+	env := sharedEnv(t)
+	_, data, err := AblationSizeAware(env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helped := 0
+	for name, classOnly := range data.ClassOnly {
+		sized := data.SizeAware[name]
+		if sized <= 0 || classOnly <= 0 {
+			t.Fatalf("%s: degenerate ratios %v / %v", name, classOnly, sized)
+		}
+		if classOnly > 2.5 || sized > 2.5 {
+			t.Errorf("%s: pairing variant far from UB: class-only %v, size-aware %v",
+				name, classOnly, sized)
+		}
+		if sized <= classOnly+1e-9 {
+			helped++
+		}
+	}
+	// On size-mixed workloads the duration tie-breaker should help (or
+	// tie) in the majority of scenarios.
+	if helped*2 < len(data.ClassOnly) {
+		t.Errorf("size-aware pairing helped on only %d of %d scenarios", helped, len(data.ClassOnly))
+	}
+}

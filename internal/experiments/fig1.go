@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ecost/internal/ml"
+	"ecost/internal/perfctr"
+	"ecost/internal/workloads"
+)
+
+// Fig1Data is the structured result of the Figure-1 reproduction.
+type Fig1Data struct {
+	// ExplainedPC2 is the variance fraction captured by PC1+PC2
+	// (the paper reports 85.22%).
+	ExplainedPC2 float64
+	// Loadings[i] is metric i's (PC1, PC2) coordinate — the scatter the
+	// paper plots.
+	Loadings [][]float64
+	// Cluster[i] is metric i's group after hierarchical clustering into
+	// 7 clusters.
+	Cluster []int
+	// Representatives holds one metric per cluster (the retained
+	// feature set; the paper keeps CPUuser, CPUiowait, I/O read, I/O
+	// write, IPC, memory footprint, LLC MPKI).
+	Representatives []perfctr.Metric
+}
+
+// Fig1PCA reproduces Figure 1: the feature matrix over all applications
+// and sizes is standardized, projected with PCA, and the 14 metrics'
+// PC1/PC2 loadings are clustered hierarchically to find the redundant
+// groups.
+func Fig1PCA(env *Env) (Table, Fig1Data, error) {
+	var data Fig1Data
+
+	// Feature matrix: every application × size, noise-free observation
+	// (the paper averages repeated runs).
+	var X [][]float64
+	for _, app := range workloads.Apps() {
+		for _, size := range workloads.DataSizesGB() {
+			o, err := env.Profiler.ObserveExact(app, size)
+			if err != nil {
+				return Table{}, data, err
+			}
+			X = append(X, o.Features.Slice())
+		}
+	}
+	pca, err := ml.FitPCA(X)
+	if err != nil {
+		return Table{}, data, err
+	}
+	data.ExplainedPC2 = pca.ExplainedVariance(2)
+	data.Loadings = pca.Loadings(2)
+
+	dg, err := ml.HClusterFit(data.Loadings, ml.AverageLinkage)
+	if err != nil {
+		return Table{}, data, err
+	}
+	data.Cluster = dg.Cut(7)
+
+	// One representative per cluster: prefer the paper's retained
+	// metrics where they fall in distinct clusters; otherwise the metric
+	// with the largest loading magnitude.
+	reduced := map[perfctr.Metric]bool{}
+	for _, m := range perfctr.ReducedMetrics() {
+		reduced[m] = true
+	}
+	repOf := map[int]perfctr.Metric{}
+	for c := 0; c < 7; c++ {
+		bestMag := -1.0
+		var best perfctr.Metric
+		havePreferred := false
+		for i, cl := range data.Cluster {
+			if cl != c {
+				continue
+			}
+			m := perfctr.Metric(i)
+			mag := data.Loadings[i][0]*data.Loadings[i][0] + data.Loadings[i][1]*data.Loadings[i][1]
+			preferred := reduced[m]
+			if (preferred && !havePreferred) || (preferred == havePreferred && mag > bestMag) {
+				best, bestMag = m, mag
+				havePreferred = havePreferred || preferred
+			}
+		}
+		repOf[c] = best
+	}
+	clusters := make([]int, 0, len(repOf))
+	for c := range repOf {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		data.Representatives = append(data.Representatives, repOf[c])
+	}
+
+	tbl := Table{
+		Title:  "Figure 1: PCA of the 14 feature metrics (PC1/PC2 loadings + clusters)",
+		Header: []string{"metric", "PC1", "PC2", "cluster"},
+	}
+	for i, name := range perfctr.MetricNames() {
+		tbl.AddRow(name, data.Loadings[i][0], data.Loadings[i][1], data.Cluster[i])
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("PC1+PC2 explain %.2f%% of total variance (paper: 85.22%%)", 100*data.ExplainedPC2),
+		fmt.Sprintf("retained representatives: %v (paper keeps %v)", data.Representatives, perfctr.ReducedMetrics()),
+	)
+	return tbl, data, nil
+}

@@ -1,0 +1,535 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"ecost/internal/cluster"
+	"ecost/internal/hdfs"
+	"ecost/internal/perfctr"
+	"ecost/internal/power"
+	"ecost/internal/sim"
+	"ecost/internal/workloads"
+)
+
+// RunSpec is one application's placement on a node: what it runs, how
+// much data it processes on this node, and its tuning configuration.
+type RunSpec struct {
+	App    workloads.App
+	DataMB float64
+	Cfg    Config
+}
+
+// Outcome is the model's prediction for one application's run.
+type Outcome struct {
+	// Time is the application's completion time in seconds (for a
+	// co-located run, measured from the co-located start).
+	Time float64
+	// MapTime and ReduceTime break the job into its phases (under the
+	// initial contention conditions).
+	MapTime    float64
+	ReduceTime float64
+
+	// CPUUtil is the average busy fraction of the application's
+	// allocated cores; IOWaitFrac the fraction stalled on I/O.
+	CPUUtil    float64
+	IOWaitFrac float64
+
+	// ReadMB / WrittenMB are total disk traffic over the job.
+	ReadMB    float64
+	WrittenMB float64
+
+	// EffIPC / EffLLCMPKI are the achieved counter values including
+	// co-runner contention — what `perf` would report.
+	EffIPC     float64
+	EffLLCMPKI float64
+
+	// MemMB is the resident working set (tasks + buffers).
+	MemMB float64
+
+	// Waves / Splits record the map-phase shape for diagnostics.
+	Waves  int
+	Splits int
+}
+
+// Telemetry converts the outcome into the measurement substrate's input.
+func (o Outcome) Telemetry() perfctr.Telemetry {
+	return perfctr.Telemetry{
+		ExecTime:    o.Time,
+		CPUBusyFrac: o.CPUUtil,
+		IOWaitFrac:  o.IOWaitFrac,
+		ReadMB:      o.ReadMB,
+		WrittenMB:   o.WrittenMB,
+		EffIPC:      o.EffIPC,
+		EffLLCMPKI:  o.EffLLCMPKI,
+		MemFootMB:   o.MemMB,
+	}
+}
+
+// CoOutcome is the node-level result of running one or more applications
+// together on a node: the paper's unit of EDP accounting.
+type CoOutcome struct {
+	Apps     []Outcome // aligned with the input specs
+	Makespan float64   // seconds until the last application finishes
+	EnergyJ  float64   // whole-node energy over the makespan
+	AvgPower float64   // EnergyJ / Makespan
+	EDP      float64   // EnergyJ × Makespan
+}
+
+// Model predicts MapReduce execution on one node. The zero value is not
+// usable; construct with NewModel. All knobs are exported so ablation
+// experiments can perturb them.
+type Model struct {
+	Spec cluster.NodeSpec
+
+	// TaskStartupSec is the per-task constant cost (JVM spawn, task init).
+	TaskStartupSec float64
+	// JobOverheadSec is the per-job setup/teardown cost.
+	JobOverheadSec float64
+	// MemLatencyNs is the DRAM access latency; the LLC-miss CPI penalty is
+	// MPKI/1000 × MemLatencyNs × f, which is what makes memory-bound
+	// applications insensitive to DVFS.
+	MemLatencyNs float64
+	// OverlapFrac is how much of a task's I/O hides under its compute.
+	OverlapFrac float64
+	// LLCMB is the shared last-level cache size.
+	LLCMB float64
+	// LLCBeta scales co-runner LLC MPKI inflation:
+	// mpki' = mpki·(1 + LLCBeta·fp/(fp+LLCMB)).
+	LLCBeta float64
+	// MemCapFrac is the usable fraction of node memory before the model
+	// charges a thrashing penalty.
+	MemCapFrac float64
+	// ThrashK scales the extra I/O charged per unit of memory
+	// over-subscription.
+	ThrashK float64
+	// BufFracOfBlock is the per-mapper sort-buffer charge as a fraction
+	// of the block size (io.sort.mb scaled with the split).
+	BufFracOfBlock float64
+	// SeekPenalty scales the loss of effective disk bandwidth as more
+	// distinct jobs interleave bursty streams on one disk:
+	// bw_eff = bw/(1+SeekPenalty·(jobs−1)²). This convex penalty is why
+	// co-locating beyond two applications degrades EDP (§4.2).
+	SeekPenalty float64
+	// JobMemMB is the fixed per-job resident overhead (framework daemons,
+	// job client, JVM heaps) independent of the mapper count.
+	JobMemMB float64
+
+	// Noise, when positive, applies relative run-to-run jitter to times
+	// and power using rng; leave zero for the deterministic oracle runs.
+	Noise float64
+	rng   *sim.RNG
+}
+
+// NewModel returns the calibrated model for the given node spec.
+func NewModel(spec cluster.NodeSpec) *Model {
+	return &Model{
+		Spec:           spec,
+		TaskStartupSec: 3.0,
+		JobOverheadSec: 6.0,
+		MemLatencyNs:   80,
+		OverlapFrac:    0.65,
+		LLCMB:          4,
+		LLCBeta:        0.30,
+		MemCapFrac:     0.85,
+		ThrashK:        2.0,
+		BufFracOfBlock: 0.6,
+		SeekPenalty:    0.06,
+		JobMemMB:       400,
+	}
+}
+
+// WithNoise returns a copy of the model that jitters results with the
+// given relative σ, seeded from rng. Used by the "measured run"
+// experiments; the oracle searches use the noise-free model.
+func (m *Model) WithNoise(rel float64, rng *sim.RNG) *Model {
+	c := *m
+	c.Noise = rel
+	c.rng = rng
+	return &c
+}
+
+// steady holds one application's behaviour while a fixed set of
+// applications co-runs.
+type steady struct {
+	T          float64 // full-job time under this contention
+	mapTime    float64
+	redTime    float64
+	util       float64 // avg CPU busy fraction of allocated cores
+	iowait     float64
+	readMB     float64
+	writeMB    float64
+	ipc        float64
+	mpki       float64
+	memMB      float64
+	ioRateMBps float64 // achieved average disk throughput
+	splits     int
+	waves      int
+}
+
+// evaluate computes the steady-state behaviour of every application in
+// specs while they all co-run. It resolves disk contention by damped
+// fixed-point iteration on the per-app achieved I/O rates, with each
+// app's burst bandwidth capped by its disk duty cycle and the bandwidth
+// left by its co-runners (bursts interleave; see workloads.Profile).
+func (m *Model) evaluate(specs []RunSpec) []steady {
+	n := len(specs)
+	out := make([]steady, n)
+	if n == 0 {
+		return out
+	}
+	// Interleaving distinct jobs' bursty streams costs seeks.
+	bw := m.Spec.DiskBWMBps / (1 + m.SeekPenalty*float64((n-1)*(n-1)))
+
+	// Memory pressure is set-wide: per-job fixed overhead plus mappers'
+	// buffers and working sets.
+	var memTotal float64
+	for _, s := range specs {
+		perTask := m.BufFracOfBlock*float64(s.Cfg.Block) + s.App.Profile.MemFootprintMBPerTask
+		memTotal += m.JobMemMB + float64(s.Cfg.Mappers)*perTask
+	}
+	memCap := m.MemCapFrac * m.Spec.MemGB * 1024
+	thrash := 0.0
+	if memTotal > memCap {
+		thrash = m.ThrashK * (memTotal/memCap - 1)
+	}
+
+	// Memory-bandwidth pressure scales the LLC miss latency (queueing).
+	var bwDemand float64
+	for _, s := range specs {
+		bwDemand += float64(s.Cfg.Mappers) * s.App.Profile.MemBWPerCoreGBps
+	}
+	bwScale := 1.0
+	if m.Spec.MemBWGBps > 0 && bwDemand > m.Spec.MemBWGBps {
+		bwScale = bwDemand / m.Spec.MemBWGBps
+	}
+
+	// Co-runner LLC pressure inflates each app's MPKI (saturating). The
+	// pressure is app-level rather than per-mapper: a job's tasks share
+	// most of their working set (dictionaries, model state), so adding
+	// mappers of the same job barely grows its LLC footprint.
+	mpki := make([]float64, n)
+	for i, s := range specs {
+		var otherFP float64
+		for j, o := range specs {
+			if j != i {
+				otherFP += o.App.Profile.CacheFootprintMB
+			}
+		}
+		infl := 1 + m.LLCBeta*otherFP/(otherFP+m.LLCMB)
+		mpki[i] = s.App.Profile.LLCMPKI * infl
+	}
+
+	// Damped fixed point on achieved disk rates.
+	rate := make([]float64, n) // achieved MB/s per app
+	type phase struct{ cpu, ioMB float64 }
+	mapPh := make([]phase, n)
+	redPh := make([]phase, n)
+	splitMB := make([]float64, n)
+	splits := make([]int, n)
+	cpi := make([]float64, n)
+	for i, s := range specs {
+		p := s.App.Profile
+		f := float64(s.Cfg.Freq)
+		cpi[i] = 1/p.BaseIPC + mpki[i]/1000*m.MemLatencyNs*f*bwScale
+		splits[i] = hdfs.Splits(s.DataMB, s.Cfg.Block)
+		if splits[i] == 0 {
+			continue
+		}
+		splitMB[i] = s.DataMB / float64(splits[i])
+		mapPh[i] = phase{
+			cpu:  p.MapInstrPerByte * splitMB[i] * 1e6 * cpi[i] / (f * 1e9),
+			ioMB: splitMB[i] * (1 + p.SpillFactor) * (1 + thrash),
+		}
+		interMB := s.DataMB * p.ShuffleSel
+		outMB := s.DataMB * p.OutputSel
+		r := float64(s.Cfg.Mappers) // reducers = mapper slots
+		redPh[i] = phase{
+			cpu:  p.ReduceInstrPerByte * interMB / r * 1e6 * cpi[i] / (f * 1e9),
+			ioMB: (interMB + outMB) / r * (1 + thrash),
+		}
+	}
+
+	taskTime := func(i int, ph phase, burstBW float64) (t, tio float64) {
+		mi := float64(specs[i].Cfg.Mappers)
+		tio = mi * ph.ioMB / burstBW // m concurrent tasks share the app's burst bandwidth
+		t = math.Max(ph.cpu, tio) + (1-m.OverlapFrac)*math.Min(ph.cpu, tio) + m.TaskStartupSec
+		return t, tio
+	}
+
+	for iter := 0; iter < 8; iter++ {
+		var sumRates float64
+		for _, r := range rate {
+			sumRates += r
+		}
+		for i, s := range specs {
+			if splits[i] == 0 {
+				continue
+			}
+			duty := s.App.Profile.DiskDutyCap
+			avail := bw - (sumRates - rate[i])
+			if avail < 0.1*bw {
+				avail = 0.1 * bw
+			}
+			burst := duty * bw
+			if burst > avail {
+				burst = avail
+			}
+			tMap, _ := taskTime(i, mapPh[i], burst)
+			tRed, _ := taskTime(i, redPh[i], burst)
+			waves := (splits[i] + s.Cfg.Mappers - 1) / s.Cfg.Mappers
+			mapTime := float64(waves) * tMap
+			total := mapTime + tRed
+			mi := float64(s.Cfg.Mappers)
+			newRate := (float64(splits[i])*mapPh[i].ioMB + mi*redPh[i].ioMB) / total
+			rate[i] = 0.5*rate[i] + 0.5*newRate
+		}
+	}
+
+	var sumRates float64
+	for _, r := range rate {
+		sumRates += r
+	}
+
+	for i, s := range specs {
+		if splits[i] == 0 {
+			out[i] = steady{T: m.JobOverheadSec}
+			continue
+		}
+		p := s.App.Profile
+		duty := p.DiskDutyCap
+		avail := bw - (sumRates - rate[i])
+		if avail < 0.1*bw {
+			avail = 0.1 * bw
+		}
+		burst := duty * bw
+		if burst > avail {
+			burst = avail
+		}
+		tMap, tioMap := taskTime(i, mapPh[i], burst)
+		tRed, tioRed := taskTime(i, redPh[i], burst)
+		waves := (splits[i] + s.Cfg.Mappers - 1) / s.Cfg.Mappers
+		mapTime := float64(waves) * tMap
+		T := m.JobOverheadSec + mapTime + tRed
+
+		// Busy fraction of the app's cores, time-weighted over phases.
+		uMap := mapPh[i].cpu / tMap
+		uRed := redPh[i].cpu / tRed
+		util := (uMap*mapTime + uRed*tRed) / (mapTime + tRed)
+		wMap := math.Max(0, tioMap-m.OverlapFrac*mapPh[i].cpu) / tMap
+		wRed := math.Max(0, tioRed-m.OverlapFrac*redPh[i].cpu) / tRed
+		iowait := (wMap*mapTime + wRed*tRed) / (mapTime + tRed)
+
+		interMB := s.DataMB * p.ShuffleSel
+		outMB := s.DataMB * p.OutputSel
+		out[i] = steady{
+			T:          T,
+			mapTime:    mapTime,
+			redTime:    tRed,
+			util:       clamp01(util),
+			iowait:     clamp01(iowait),
+			readMB:     s.DataMB + interMB,
+			writeMB:    s.DataMB*p.SpillFactor + interMB + outMB,
+			ipc:        1 / cpi[i],
+			mpki:       mpki[i],
+			memMB:      float64(s.Cfg.Mappers) * (m.BufFracOfBlock*float64(s.Cfg.Block) + p.MemFootprintMBPerTask),
+			ioRateMBps: rate[i],
+			splits:     splits[i],
+			waves:      waves,
+		}
+	}
+	return out
+}
+
+// activity converts the active set's steady states into a power-model
+// activity snapshot.
+func (m *Model) activity(specs []RunSpec, sts []steady, active []bool) power.Activity {
+	var act power.Activity
+	var io, membw float64
+	for i, s := range specs {
+		if !active[i] {
+			continue
+		}
+		act.Loads = append(act.Loads, power.CoreLoad{
+			Cores: s.Cfg.Mappers,
+			Freq:  s.Cfg.Freq,
+			Util:  sts[i].util,
+		})
+		io += sts[i].ioRateMBps
+		membw += float64(s.Cfg.Mappers) * s.App.Profile.MemBWPerCoreGBps * sts[i].util
+	}
+	act.DiskBusy = io / m.Spec.DiskBWMBps
+	act.MemBWGB = membw
+	return act
+}
+
+// CoLocate predicts the node-level outcome of running the given
+// applications together. Mapper counts must fit the node's cores. As
+// applications finish, the survivors speed up (contention relaxes); the
+// model handles this with a fluid epoch simulation over the steady
+// states of each remaining active set.
+func (m *Model) CoLocate(specs []RunSpec) (CoOutcome, error) {
+	if len(specs) == 0 {
+		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: no applications")
+	}
+	total := 0
+	for _, s := range specs {
+		if err := s.Cfg.Validate(m.Spec.Cores); err != nil {
+			return CoOutcome{}, err
+		}
+		if s.DataMB < 0 {
+			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate %s: negative data size", s.App.Name)
+		}
+		total += s.Cfg.Mappers
+	}
+	if total > m.Spec.Cores {
+		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: %d mappers exceed %d cores", total, m.Spec.Cores)
+	}
+
+	n := len(specs)
+	co := CoOutcome{Apps: make([]Outcome, n)}
+	active := make([]bool, n)
+	rem := make([]float64, n)
+	for i := range specs {
+		active[i] = true
+		rem[i] = 1
+	}
+	first := m.evaluate(specs)
+	for i, st := range first {
+		co.Apps[i] = Outcome{
+			MapTime:    st.mapTime,
+			ReduceTime: st.redTime,
+			CPUUtil:    st.util,
+			IOWaitFrac: st.iowait,
+			ReadMB:     st.readMB,
+			WrittenMB:  st.writeMB,
+			EffIPC:     st.ipc,
+			EffLLCMPKI: st.mpki,
+			MemMB:      st.memMB,
+			Waves:      st.waves,
+			Splits:     st.splits,
+		}
+	}
+
+	now := 0.0
+	remaining := n
+	for remaining > 0 {
+		sub := make([]RunSpec, 0, remaining)
+		idx := make([]int, 0, remaining)
+		for i, a := range active {
+			if a {
+				sub = append(sub, specs[i])
+				idx = append(idx, i)
+			}
+		}
+		sts := m.evaluate(sub)
+		// Epoch ends when the first active app finishes.
+		dt := math.Inf(1)
+		for k, i := range idx {
+			if t := rem[i] * sts[k].T; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: non-finite epoch")
+		}
+		subActive := make([]bool, len(sub))
+		for k := range sub {
+			subActive[k] = true
+		}
+		watts := power.NodePower(m.Spec, m.activity(sub, sts, subActive))
+		co.EnergyJ += watts * dt
+		now += dt
+		for k, i := range idx {
+			rem[i] -= dt / sts[k].T
+			if rem[i] <= 1e-9 {
+				rem[i] = 0
+				active[i] = false
+				co.Apps[i].Time = now
+				remaining--
+			}
+		}
+	}
+	co.Makespan = now
+	if m.Noise > 0 && m.rng != nil {
+		co.Makespan = m.rng.Jitter(co.Makespan, m.Noise)
+		co.EnergyJ = m.rng.Jitter(co.EnergyJ, m.Noise)
+		for i := range co.Apps {
+			co.Apps[i].Time = m.rng.Jitter(co.Apps[i].Time, m.Noise)
+		}
+	}
+	if co.Makespan > 0 {
+		co.AvgPower = co.EnergyJ / co.Makespan
+	}
+	co.EDP = power.EDP(co.EnergyJ, co.Makespan)
+	return co, nil
+}
+
+// Solo predicts a single application running alone on the node.
+func (m *Model) Solo(spec RunSpec) (Outcome, CoOutcome, error) {
+	co, err := m.CoLocate([]RunSpec{spec})
+	if err != nil {
+		return Outcome{}, CoOutcome{}, err
+	}
+	return co.Apps[0], co, nil
+}
+
+// Pair predicts two applications co-located on the node.
+func (m *Model) Pair(a, b RunSpec) (CoOutcome, error) {
+	return m.CoLocate([]RunSpec{a, b})
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SteadyState is the exported per-application view of the contention
+// solver, for online schedulers that manage job progress across
+// arrival/completion events themselves (internal/core's online mode).
+type SteadyState struct {
+	// JobTime is the application's full-job time if the current set ran
+	// unchanged throughout.
+	JobTime float64
+	// CPUUtil and IOWait describe the application's cores.
+	CPUUtil float64
+	IOWait  float64
+}
+
+// Steady solves the contention among the given co-running applications
+// and returns each one's steady state plus the whole-node power draw
+// while this set runs.
+func (m *Model) Steady(specs []RunSpec) ([]SteadyState, float64, error) {
+	if len(specs) == 0 {
+		return nil, power.NodePower(m.Spec, power.Activity{}), nil
+	}
+	total := 0
+	for _, s := range specs {
+		if err := s.Cfg.Validate(m.Spec.Cores); err != nil {
+			return nil, 0, err
+		}
+		total += s.Cfg.Mappers
+	}
+	if total > m.Spec.Cores {
+		return nil, 0, fmt.Errorf("mapreduce: steady: %d mappers exceed %d cores", total, m.Spec.Cores)
+	}
+	sts := m.evaluate(specs)
+	out := make([]SteadyState, len(sts))
+	active := make([]bool, len(sts))
+	for i, st := range sts {
+		out[i] = SteadyState{JobTime: st.T, CPUUtil: st.util, IOWait: st.iowait}
+		active[i] = true
+	}
+	watts := power.NodePower(m.Spec, m.activity(specs, sts, active))
+	return out, watts, nil
+}
+
+// IdlePower returns the node's idle draw — what an empty node burns.
+func (m *Model) IdlePower() float64 {
+	return power.NodePower(m.Spec, power.Activity{})
+}

@@ -1,0 +1,77 @@
+package ml
+
+import (
+	"fmt"
+
+	"ecost/internal/sim"
+)
+
+// Bagging averages an ensemble of base regressors, each trained on a
+// bootstrap resample of the training data. Averaging smooths the jagged
+// minima of piecewise models — essential when a downstream argmin scans
+// the model over a large configuration space, where any spuriously low
+// region gets found and exploited. (Weka pairs REPTree with Bagging for
+// exactly this reason; REPTree is its default base learner.)
+type Bagging struct {
+	// New constructs one base learner (called N times).
+	New func() Regressor
+	// N is the ensemble size.
+	N int
+	// Seed drives the bootstrap resampling.
+	Seed int64
+
+	members []Regressor
+}
+
+// NewBagging returns an ensemble of n base learners.
+func NewBagging(n int, base func() Regressor) *Bagging {
+	if n < 1 {
+		n = 1
+	}
+	return &Bagging{New: base, N: n, Seed: 1}
+}
+
+// Train fits every member on its own bootstrap resample.
+func (b *Bagging) Train(X [][]float64, y []float64) error {
+	rows, _, err := checkXY(X, y)
+	if err != nil {
+		return fmt.Errorf("bagging: %w", err)
+	}
+	if b.New == nil {
+		return fmt.Errorf("bagging: no base learner factory")
+	}
+	rng := sim.NewRNG(b.Seed)
+	b.members = b.members[:0]
+	for k := 0; k < b.N; k++ {
+		bx := make([][]float64, rows)
+		by := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			j := rng.Intn(rows)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		m := b.New()
+		if err := m.Train(bx, by); err != nil {
+			return fmt.Errorf("bagging: member %d: %w", k, err)
+		}
+		b.members = append(b.members, m)
+	}
+	return nil
+}
+
+// Predict returns the ensemble mean.
+func (b *Bagging) Predict(x []float64) float64 {
+	if len(b.members) == 0 {
+		return 0
+	}
+	var s float64
+	for _, m := range b.members {
+		s += m.Predict(x)
+	}
+	return s / float64(len(b.members))
+}
+
+// Size reports the trained ensemble size.
+func (b *Bagging) Size() int { return len(b.members) }
+
+var _ Regressor = (*Bagging)(nil)

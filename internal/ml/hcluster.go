@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// HCluster performs agglomerative hierarchical clustering with a choice
+// of linkage — the technique the paper applies to the PCA loadings to
+// group redundant feature metrics (§3.2) before retaining one
+// representative per group.
+type Linkage int
+
+// Supported linkage criteria.
+const (
+	SingleLinkage   Linkage = iota // min pairwise distance
+	CompleteLinkage                // max pairwise distance
+	AverageLinkage                 // mean pairwise distance
+)
+
+// Dendrogram records the merge history; Merges[i] joined clusters A and B
+// (ids: 0..n-1 are leaves, n+i is the cluster created by merge i) at the
+// given distance.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Merge is one agglomeration step.
+type Merge struct {
+	A, B     int
+	Distance float64
+}
+
+// HClusterFit builds the full dendrogram over the rows of X.
+func HClusterFit(X [][]float64, link Linkage) (*Dendrogram, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("hcluster: no observations")
+	}
+	for i, r := range X {
+		if len(r) != len(X[0]) {
+			return nil, fmt.Errorf("hcluster: row %d width %d != %d", i, len(r), len(X[0]))
+		}
+	}
+	// Active clusters as member lists.
+	type clust struct {
+		id      int
+		members []int
+	}
+	active := make([]clust, n)
+	for i := range active {
+		active[i] = clust{id: i, members: []int{i}}
+	}
+	dist := func(a, b clust) float64 {
+		switch link {
+		case SingleLinkage:
+			best := math.Inf(1)
+			for _, i := range a.members {
+				for _, j := range b.members {
+					if d := Euclid(X[i], X[j]); d < best {
+						best = d
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := 0.0
+			for _, i := range a.members {
+				for _, j := range b.members {
+					if d := Euclid(X[i], X[j]); d > worst {
+						worst = d
+					}
+				}
+			}
+			return worst
+		default:
+			var s float64
+			for _, i := range a.members {
+				for _, j := range b.members {
+					s += Euclid(X[i], X[j])
+				}
+			}
+			return s / float64(len(a.members)*len(b.members))
+		}
+	}
+	dg := &Dendrogram{N: n}
+	next := n
+	for len(active) > 1 {
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if d := dist(active[i], active[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		dg.Merges = append(dg.Merges, Merge{A: a.id, B: b.id, Distance: bd})
+		merged := clust{id: next, members: append(append([]int{}, a.members...), b.members...)}
+		next++
+		// Remove bj first (bj > bi).
+		active = append(active[:bj], active[bj+1:]...)
+		active[bi] = merged
+	}
+	return dg, nil
+}
+
+// Cut returns cluster labels (0..k-1) for the leaves when the dendrogram
+// is cut into k clusters. k is clamped to [1, N].
+func (d *Dendrogram) Cut(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > d.N {
+		k = d.N
+	}
+	// Union-find over the first N-k merges.
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < d.N-k && i < len(d.Merges); i++ {
+		m := d.Merges[i]
+		id := d.N + i
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	labels := make([]int, d.N)
+	seen := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		root := find(i)
+		if _, ok := seen[root]; !ok {
+			seen[root] = len(seen)
+		}
+		labels[i] = seen[root]
+	}
+	return labels
+}

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is ordinary least squares with an intercept, solved by
+// the normal equations with a small ridge term for numerical stability —
+// the LR predictor of the paper (which it finds too weak for EDP: the
+// response is strongly non-linear in the tuning knobs).
+type LinearRegression struct {
+	// Ridge is the L2 regularization added to the diagonal (not applied
+	// to the intercept). Zero gives plain OLS with a tiny jitter for
+	// invertibility.
+	Ridge float64
+
+	// Weights holds the fitted coefficients; Intercept the bias term.
+	Weights   []float64
+	Intercept float64
+}
+
+// NewLinearRegression returns an OLS model.
+func NewLinearRegression() *LinearRegression { return &LinearRegression{} }
+
+// Train fits the model with the normal equations (XᵀX + λI)w = Xᵀy.
+func (m *LinearRegression) Train(X [][]float64, y []float64) error {
+	rows, cols, err := checkXY(X, y)
+	if err != nil {
+		return fmt.Errorf("linear regression: %w", err)
+	}
+	d := cols + 1 // intercept column
+	// Build the normal equations.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1) // augmented with Xᵀy
+	}
+	for r := 0; r < rows; r++ {
+		xr := make([]float64, d)
+		xr[0] = 1
+		copy(xr[1:], X[r])
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += xr[i] * xr[j]
+			}
+			a[i][d] += xr[i] * y[r]
+		}
+	}
+	// The ridge is relative to each diagonal entry's own scale so that
+	// constant or collinear feature columns (common when a class pair has
+	// a single training application) stay invertible regardless of the
+	// features' magnitudes.
+	rel := m.Ridge
+	if rel <= 0 {
+		rel = 1e-6
+	}
+	for i := 1; i < d; i++ {
+		a[i][i] += rel*a[i][i] + 1e-9
+	}
+	w, err := solveGauss(a)
+	if err != nil {
+		return fmt.Errorf("linear regression: %w", err)
+	}
+	m.Intercept = w[0]
+	m.Weights = w[1:]
+	return nil
+}
+
+// Predict returns wᵀx + b. Extra features beyond the trained width are
+// ignored; missing ones are treated as zero.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	s := m.Intercept
+	for i, w := range m.Weights {
+		if i < len(x) {
+			s += w * x[i]
+		}
+	}
+	return s
+}
+
+// solveGauss solves the augmented system a·w = rhs (rhs in the last
+// column) by Gaussian elimination with partial pivoting.
+func solveGauss(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-14 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := a[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, nil
+}

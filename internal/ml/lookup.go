@@ -1,0 +1,139 @@
+package ml
+
+import "fmt"
+
+// LookupTable is the LkT model of the paper: it memorizes every training
+// row and predicts by returning the target of the nearest stored row
+// (1-NN over standardized features). Training is expensive in the paper's
+// sense because the table must be *populated* with brute-force-optimal
+// entries; prediction is a single scan of a small table.
+type LookupTable struct {
+	scaler *Scaler
+	rows   [][]float64
+	y      []float64
+}
+
+// NewLookupTable returns an empty table.
+func NewLookupTable() *LookupTable { return &LookupTable{} }
+
+// Train stores the (standardized) training rows.
+func (t *LookupTable) Train(X [][]float64, y []float64) error {
+	if _, _, err := checkXY(X, y); err != nil {
+		return fmt.Errorf("lookup table: %w", err)
+	}
+	s, err := FitScaler(X)
+	if err != nil {
+		return fmt.Errorf("lookup table: %w", err)
+	}
+	t.scaler = s
+	t.rows = s.TransformAll(X)
+	t.y = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict returns the target of the nearest stored row.
+func (t *LookupTable) Predict(x []float64) float64 {
+	if len(t.rows) == 0 {
+		return 0
+	}
+	xs := t.scaler.Transform(x)
+	best, bestD := 0, Euclid(xs, t.rows[0])
+	for i := 1; i < len(t.rows); i++ {
+		if d := Euclid(xs, t.rows[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return t.y[best]
+}
+
+// Len reports the number of stored entries.
+func (t *LookupTable) Len() int { return len(t.rows) }
+
+var _ Regressor = (*LookupTable)(nil)
+
+// KNNClassifier is a k-nearest-neighbour classifier over standardized
+// features — the cluster-assignment step of the paper's incoming
+// application analyzer (it "chooses the application in the database that
+// best resembles the testing application").
+type KNNClassifier struct {
+	K int
+
+	scaler *Scaler
+	rows   [][]float64
+	labels []int
+}
+
+// NewKNN returns a classifier with the given neighbourhood size.
+func NewKNN(k int) *KNNClassifier {
+	if k < 1 {
+		k = 1
+	}
+	return &KNNClassifier{K: k}
+}
+
+// Train stores the labelled exemplars.
+func (c *KNNClassifier) Train(X [][]float64, labels []int) error {
+	y := make([]float64, len(labels))
+	if _, _, err := checkXY(X, y); err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	s, err := FitScaler(X)
+	if err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	c.scaler = s
+	c.rows = s.TransformAll(X)
+	c.labels = append([]int(nil), labels...)
+	return nil
+}
+
+// Classify returns the majority label among the k nearest exemplars
+// (ties broken toward the nearest).
+func (c *KNNClassifier) Classify(x []float64) int {
+	if len(c.rows) == 0 {
+		return 0
+	}
+	xs := c.scaler.Transform(x)
+	type nd struct {
+		d     float64
+		label int
+	}
+	k := c.K
+	if k > len(c.rows) {
+		k = len(c.rows)
+	}
+	// Partial selection of the k nearest.
+	nearest := make([]nd, 0, k)
+	for i, r := range c.rows {
+		d := Euclid(xs, r)
+		if len(nearest) < k {
+			nearest = append(nearest, nd{d, c.labels[i]})
+			continue
+		}
+		// Replace the farthest if closer.
+		far := 0
+		for j := 1; j < k; j++ {
+			if nearest[j].d > nearest[far].d {
+				far = j
+			}
+		}
+		if d < nearest[far].d {
+			nearest[far] = nd{d, c.labels[i]}
+		}
+	}
+	votes := map[int]int{}
+	bestD := map[int]float64{}
+	for _, n := range nearest {
+		votes[n.label]++
+		if d, ok := bestD[n.label]; !ok || n.d < d {
+			bestD[n.label] = n.d
+		}
+	}
+	best, bestVotes := nearest[0].label, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && bestD[label] < bestD[best]) {
+			best, bestVotes = label, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package perfctr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Monitor is the dstat-style time-series recorder used by the live
+// MapReduce engine (internal/engine): callers report per-interval
+// resource readings and the monitor exposes per-metric averages and the
+// resulting feature Vector. It is safe for concurrent use — the engine's
+// worker goroutines report from their own goroutines.
+type Monitor struct {
+	mu      sync.Mutex
+	rows    []Row
+	started bool
+}
+
+// Row is one sampling interval's readings.
+type Row struct {
+	At       float64 // seconds since monitoring started
+	CPUUser  float64 // %
+	CPUSys   float64 // %
+	CPUWait  float64 // %
+	ReadMB   float64 // MB read during the interval
+	WriteMB  float64 // MB written during the interval
+	ResidMB  float64 // resident memory at sample time
+	Instrs   float64 // instructions retired during the interval
+	Cycles   float64 // cycles elapsed during the interval
+	LLCMiss  float64 // LLC misses during the interval
+	ICMiss   float64 // I-cache misses during the interval
+	BrMiss   float64 // branch mispredictions during the interval
+	Branches float64 // branches retired during the interval
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// Record appends one interval row.
+func (m *Monitor) Record(r Row) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = append(m.rows, r)
+	m.started = true
+}
+
+// Rows returns a copy of the recorded rows sorted by time.
+func (m *Monitor) Rows() []Row {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Row, len(m.rows))
+	copy(out, m.rows)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded rows.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rows)
+}
+
+// Summarize aggregates the recorded rows into a feature Vector using the
+// same definitions the Sampler uses: rates are totals over the observed
+// wall time, PMU ratios are computed from summed raw counts, and the
+// memory footprint is the peak residency.
+func (m *Monitor) Summarize() (Vector, error) {
+	rows := m.Rows()
+	var v Vector
+	if len(rows) == 0 {
+		return v, fmt.Errorf("perfctr: summarize: no samples recorded")
+	}
+	var dur float64
+	if n := len(rows); n > 0 {
+		dur = rows[n-1].At
+		if dur <= 0 {
+			dur = float64(n) // assume 1 Hz if timestamps were not set
+		}
+	}
+	var user, sys, wait, read, write, peak float64
+	var instr, cyc, llc, ic, brm, br float64
+	for _, r := range rows {
+		user += r.CPUUser
+		sys += r.CPUSys
+		wait += r.CPUWait
+		read += r.ReadMB
+		write += r.WriteMB
+		if r.ResidMB > peak {
+			peak = r.ResidMB
+		}
+		instr += r.Instrs
+		cyc += r.Cycles
+		llc += r.LLCMiss
+		ic += r.ICMiss
+		brm += r.BrMiss
+		br += r.Branches
+	}
+	n := float64(len(rows))
+	v[CPUUser] = user / n
+	v[CPUSystem] = sys / n
+	v[CPUIOWait] = wait / n
+	idle := 100 - v[CPUUser] - v[CPUSystem] - v[CPUIOWait]
+	if idle < 0 {
+		idle = 0
+	}
+	v[CPUIdle] = idle
+	v[IOReadMBps] = read / dur
+	v[IOWriteMBps] = write / dur
+	v[MemFootMB] = peak
+	v[MemCacheMB] = minf(0.25*write, 1500)
+	if cyc > 0 {
+		v[IPC] = instr / cyc
+	}
+	if instr > 0 {
+		v[LLCMPKI] = 1000 * llc / instr
+		v[ICacheMPKI] = 1000 * ic / instr
+	}
+	if br > 0 {
+		v[BranchMiss] = 100 * brm / br
+	}
+	v[CtxSwitch] = 0.8 + 6*(v[CPUIOWait]/100)
+	v[PageFaults] = 0.3 + peak/500
+	return v, nil
+}
+
+// Format renders the rows as a dstat-like table for diagnostics.
+func (m *Monitor) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s %6s %6s %8s %8s %8s\n",
+		"time", "usr%", "sys%", "wai%", "readMB", "writMB", "residMB")
+	for _, r := range m.Rows() {
+		fmt.Fprintf(&b, "%6.1f %6.1f %6.1f %6.1f %8.1f %8.1f %8.1f\n",
+			r.At, r.CPUUser, r.CPUSys, r.CPUWait, r.ReadMB, r.WriteMB, r.ResidMB)
+	}
+	return b.String()
+}

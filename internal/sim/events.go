@@ -1,0 +1,122 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a point in simulated time.
+type Event struct {
+	// At is the absolute simulated time (seconds) the event fires.
+	At float64
+	// Fire runs when the clock reaches At. It may schedule further events.
+	Fire func()
+
+	seq   int64 // tiebreaker: FIFO among equal timestamps
+	index int   // heap bookkeeping
+}
+
+// eventHeap is a min-heap ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal deterministic discrete-event simulation kernel.
+// Events with equal timestamps fire in scheduling order.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	fired  int64
+}
+
+// NewEngine returns a kernel with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired reports how many events have run so far.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) is clamped to Now: the event fires next, preserving causality.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{At: t, Fire: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.events) || e.events[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	ev.index = -1
+	e.now = ev.At
+	e.fired++
+	ev.Fire()
+	return true
+}
+
+// Run fires events until none remain or the clock passes horizon
+// (horizon <= 0 means no limit). It returns the final clock value.
+func (e *Engine) Run(horizon float64) float64 {
+	for len(e.events) > 0 {
+		if horizon > 0 && e.events[0].At > horizon {
+			e.now = horizon
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := NewRNG(7).Split(1)
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c1again.Float64() {
+			t.Fatalf("Split not deterministic at draw %d", i)
+		}
+	}
+	// Different ids should produce different streams.
+	c1 = NewRNG(7).Split(1)
+	diff := false
+	for i := 0; i < 20; i++ {
+		if c1.Float64() != c2.Float64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Split(1) and Split(2) produced identical streams")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(3)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := g.Normal(5, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("mean = %v, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("std = %v, want ~2", std)
+	}
+}
+
+func TestJitterPositive(t *testing.T) {
+	g := NewRNG(9)
+	f := func(x float64) bool {
+		ax := math.Abs(x) + 0.001
+		return g.Jitter(ax, 0.5) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exp(3)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3) > 0.1 {
+		t.Errorf("exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-timestamp events not FIFO: %v", order)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run(0)
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(10, func() { fired = true })
+	e.Run(5)
+	if fired {
+		t.Fatal("event past horizon fired")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want horizon 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(5, func() {
+		e.At(1, func() { at = e.Now() }) // in the past: clamped to now
+	})
+	e.Run(0)
+	if at != 5 {
+		t.Fatalf("past-scheduled event fired at %v, want 5", at)
+	}
+}
+
+func TestEngineStepCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(float64(i), func() {})
+	}
+	n := 0
+	for e.Step() {
+		n++
+	}
+	if n != 7 || e.Fired() != 7 {
+		t.Fatalf("stepped %d fired %d, want 7", n, e.Fired())
+	}
+}
