@@ -7,6 +7,14 @@
 //
 //	ecost-sim -scenario WS4 -policy ECoST -nodes 4
 //	ecost-sim -scenario WS8 -online -nodes 2 -arrival 120
+//	ecost-sim -scenario WS4 -online -metrics
+//
+// -metrics appends an observability snapshot of the online run (queue
+// depth, per-class wait latency, pairing-tree outcomes, STP prediction
+// telemetry, energy split by occupancy phase). The snapshot is
+// deterministic: two runs with the same flags produce byte-identical
+// output. -metrics-volatile additionally includes wall-clock sections,
+// which vary run to run.
 package main
 
 import (
@@ -18,7 +26,9 @@ import (
 	"ecost/internal/core"
 	"ecost/internal/experiments"
 	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
 	"ecost/internal/sim"
+	"ecost/internal/trace"
 )
 
 func main() {
@@ -28,7 +38,15 @@ func main() {
 	online := flag.Bool("online", false, "run the event-driven online scheduler instead of batch mapping")
 	arrival := flag.Float64("arrival", 0, "mean inter-arrival seconds for -online (0 = all at t=0)")
 	seed := flag.Int64("seed", 42, "random seed")
+	emitMetrics := flag.Bool("metrics", false, "collect and print an observability snapshot (implies -online)")
+	metricsJSON := flag.Bool("metrics-json", false, "print the -metrics snapshot as JSON instead of text")
+	metricsVolatile := flag.Bool("metrics-volatile", false, "include wall-clock (non-deterministic) sections in the -metrics snapshot")
 	flag.Parse()
+
+	if *emitMetrics && !*online {
+		fmt.Fprintln(os.Stderr, "ecost-sim: -metrics instruments the online scheduler; enabling -online")
+		*online = true
+	}
 
 	wl, err := core.Scenario(*scenario)
 	if err != nil {
@@ -45,7 +63,25 @@ func main() {
 	}
 
 	if *online {
-		runOnline(env, wl, *nodes, *arrival, *seed)
+		var reg *metrics.Registry
+		if *emitMetrics {
+			reg = metrics.NewRegistry()
+		}
+		runOnline(env, wl, *nodes, *arrival, *seed, reg)
+		if reg != nil {
+			fmt.Println()
+			snap := reg.Snapshot(*metricsVolatile)
+			var werr error
+			if *metricsJSON {
+				werr = snap.WriteJSON(os.Stdout)
+			} else {
+				werr = snap.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "ecost-sim:", werr)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -78,22 +114,34 @@ func main() {
 	fmt.Printf("  vs UB     %.2fx (UB EDP %.4g)\n", res.EDP/ub.EDP, ub.EDP)
 }
 
-func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float64, seed int64) {
+func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float64, seed int64, reg *metrics.Registry) {
 	eng := sim.NewEngine()
 	model := mapreduce.NewModel(cluster.AtomC2758())
-	sched, err := core.NewOnlineScheduler(eng, model, env.DB, env.LkT, env.Profiler, nodes)
+	var tuner core.STP = env.LkT
+	if reg != nil {
+		// The model here is private to the online run, so steady-state
+		// telemetry stays scoped to it; the STP wrapper adds prediction
+		// counters and the predicted-vs-realized EDP error.
+		model.Metrics = reg
+		tuner = core.NewMeteredSTP(env.LkT, model, reg)
+	}
+	sched, err := core.NewOnlineScheduler(eng, model, env.DB, tuner, env.Profiler, nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
 		os.Exit(1)
 	}
+	sched.SetMetrics(reg)
 	rng := sim.NewRNG(seed)
 	at := 0.0
+	arrivals := make([]trace.Arrival, 0, len(wl.Jobs))
 	for _, j := range wl.Jobs {
+		arrivals = append(arrivals, trace.Arrival{At: at, App: j.App, SizeGB: j.SizeGB})
 		sched.Submit(j.App, j.SizeGB, at)
 		if arrival > 0 {
 			at += rng.Exp(arrival)
 		}
 	}
+	trace.Record(arrivals, reg)
 	makespan, energy, err := sched.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecost-sim:", err)

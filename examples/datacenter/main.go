@@ -4,7 +4,10 @@
 // mapping policy on a cluster — untuned serial/spread mappings (SM,
 // MNM1, MNM2), per-node mappings (SNM, CBM), tuning-only (PTM), the full
 // ECoST pipeline, and the brute-force upper bound (UB) — and prints the
-// EDP of each policy normalized to UB.
+// EDP of each policy normalized to UB. It then replays one scenario
+// through the instrumented online scheduler and prints the observability
+// snapshot (queue behaviour, pairing-tree outcomes, energy by occupancy
+// phase).
 //
 // Run with: go run ./examples/datacenter [nodes]
 package main
@@ -15,8 +18,12 @@ import (
 	"os"
 	"strconv"
 
+	"ecost/internal/cluster"
 	"ecost/internal/core"
 	"ecost/internal/experiments"
+	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
+	"ecost/internal/sim"
 )
 
 func main() {
@@ -70,4 +77,37 @@ func main() {
 	fmt.Println("\nSM/MNM/SNM/CBM run untuned (max frequency, 128MB blocks);")
 	fmt.Println("PTM tunes without pairing; ECoST pairs by the class decision tree and tunes with LkT-STP")
 	fmt.Println("(the most accurate technique on this demo's coarse database; see EXPERIMENTS.md).")
+
+	if err := onlineWithMetrics(env, nodes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// onlineWithMetrics replays WS4 through the event-driven scheduler with
+// the observability registry attached, then prints the deterministic
+// snapshot — the same output `ecost-sim -metrics` produces.
+func onlineWithMetrics(env *experiments.Env, nodes int) error {
+	fmt.Println("\nonline ECoST replay of WS4 with observability enabled:")
+	wl, err := core.Scenario("WS4")
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	model := mapreduce.NewModel(cluster.AtomC2758())
+	model.Metrics = reg
+	sched, err := core.NewOnlineScheduler(sim.NewEngine(), model, env.DB,
+		core.NewMeteredSTP(env.LkT, model, reg), env.Profiler, nodes)
+	if err != nil {
+		return err
+	}
+	sched.SetMetrics(reg)
+	for _, j := range wl.Jobs {
+		sched.Submit(j.App, j.SizeGB, 0)
+	}
+	makespan, energy, err := sched.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("makespan %.0f s, energy %.0f J\n\n", makespan, energy)
+	return reg.Snapshot(false).WriteText(os.Stdout)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ecost/internal/metrics"
 	"ecost/internal/workloads"
 )
 
@@ -30,6 +31,11 @@ type WaitQueue struct {
 	// head's size is "small": co-locating it alongside the current
 	// resident leaves the head's reserved slot unaffected.
 	LeapFraction float64
+
+	// Metrics, when non-nil, receives queue telemetry: per-class push
+	// counts and the depth high-water mark. The owning scheduler samples
+	// depth over sim-time separately (the queue has no clock).
+	Metrics *metrics.Registry
 }
 
 // NewWaitQueue returns an empty queue with the default smallness bound.
@@ -41,6 +47,21 @@ func (q *WaitQueue) Push(j *Job) {
 		return
 	}
 	q.jobs = append(q.jobs, j)
+	if q.Metrics != nil {
+		q.Metrics.Counter("queue.push." + j.Class.String()).Inc()
+		if hw := q.Metrics.Gauge("queue.depth_highwater"); float64(len(q.jobs)) > hw.Value() {
+			hw.Set(float64(len(q.jobs)))
+		}
+	}
+}
+
+// DepthByClass tallies the queued jobs per class (for depth gauges).
+func (q *WaitQueue) DepthByClass() map[workloads.Class]int {
+	out := map[workloads.Class]int{}
+	for _, j := range q.jobs {
+		out[j.Class]++
+	}
+	return out
 }
 
 // Len reports the queue length.

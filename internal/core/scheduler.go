@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
+	"ecost/internal/power"
 	"ecost/internal/sim"
 	"ecost/internal/workloads"
 )
@@ -36,7 +38,83 @@ type OnlineScheduler struct {
 	// energy accounting
 	energyJ    float64
 	lastUpdate float64
+	phases     power.PhaseAccumulator
+
+	// met holds the pre-resolved metric handles (nil = observability
+	// off; see SetMetrics).
+	met *schedMetrics
 }
+
+// schedMetrics pre-resolves the scheduler's instruments so the hot
+// event path never takes the registry lock.
+type schedMetrics struct {
+	reg        *metrics.Registry
+	submitted  *metrics.Counter
+	completed  *metrics.Counter
+	pairs      *metrics.Counter
+	reserves   *metrics.Counter
+	leaps      *metrics.Counter
+	tunePair   *metrics.Counter
+	tuneSolo   *metrics.Counter
+	depth      *metrics.Series
+	turnaround *metrics.Histogram
+	wait       map[workloads.Class]*metrics.Histogram
+
+	energyIdle   *metrics.Gauge
+	energySolo   *metrics.Gauge
+	energyPaired *metrics.Gauge
+}
+
+// waitFor returns the per-class wait-latency histogram.
+func (m *schedMetrics) waitFor(c workloads.Class) *metrics.Histogram {
+	h, ok := m.wait[c]
+	if !ok {
+		h = m.reg.Histogram("sched.wait_s."+c.String(), metrics.ExpBuckets(16, 2, 14))
+		m.wait[c] = h
+	}
+	return h
+}
+
+// SetMetrics attaches an observability registry to the scheduler (and
+// its wait queue). Call before the first Submit; pass nil to disable.
+// The execution model is deliberately left alone — attach a registry to
+// Model.Metrics separately if steady-state telemetry is wanted (the
+// model may be shared with uninstrumented components).
+func (s *OnlineScheduler) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.met = nil
+		s.queue.Metrics = nil
+		return
+	}
+	s.met = &schedMetrics{
+		reg:          reg,
+		submitted:    reg.Counter("sched.submitted"),
+		completed:    reg.Counter("sched.completed"),
+		pairs:        reg.Counter("sched.pairings"),
+		reserves:     reg.Counter("sched.reservations"),
+		leaps:        reg.Counter("sched.leaps"),
+		tunePair:     reg.Counter("sched.tune.pair"),
+		tuneSolo:     reg.Counter("sched.tune.solo"),
+		depth:        reg.Series("sched.queue_depth"),
+		turnaround:   reg.Histogram("sched.turnaround_s", metrics.ExpBuckets(16, 2, 14)),
+		wait:         map[workloads.Class]*metrics.Histogram{},
+		energyIdle:   reg.Gauge("power.energy_j.idle"),
+		energySolo:   reg.Gauge("power.energy_j.solo"),
+		energyPaired: reg.Gauge("power.energy_j.paired"),
+	}
+	s.queue.Metrics = reg
+}
+
+// sampleDepth records the queue depth at the current sim-time.
+func (s *OnlineScheduler) sampleDepth() {
+	if s.met != nil {
+		s.met.depth.Sample(s.Engine.Now(), float64(s.queue.Len()))
+	}
+}
+
+// Phases returns the energy split by node-occupancy phase accrued so
+// far (idle / solo / co-located).
+func (s *OnlineScheduler) Phases() power.PhaseAccumulator { return s.phases }
 
 // CompletedJob records one finished job for reporting.
 type CompletedJob struct {
@@ -105,6 +183,14 @@ func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 			Arrived: at,
 		}
 		s.queue.Push(j)
+		if s.met != nil {
+			s.met.submitted.Inc()
+			s.met.reg.Emit(metrics.Event{
+				At: at, Kind: metrics.EvSubmit, Job: id, Node: -1,
+				Detail: fmt.Sprintf("%s@%gG class=%s", app.Name, sizeGB, j.Class),
+			})
+			s.sampleDepth()
+		}
 		s.dispatch()
 	})
 }
@@ -153,9 +239,15 @@ func (s *OnlineScheduler) accrueEnergy() {
 			panic(err)
 		}
 		watts += w
+		s.phases.Add(len(n.residents), w*dt)
 	}
 	s.energyJ += watts * dt
 	s.lastUpdate = now
+	if s.met != nil {
+		s.met.energyIdle.Set(s.phases.IdleJ)
+		s.met.energySolo.Set(s.phases.SoloJ)
+		s.met.energyPaired.Set(s.phases.CoJ)
+	}
 }
 
 func (n *onlineNode) specs() []mapreduce.RunSpec {
@@ -196,6 +288,7 @@ func (s *OnlineScheduler) dispatch() {
 		var j *Job
 		if len(target.residents) == 1 {
 			running := target.residents[0].job.Class
+			head := s.queue.Head()
 			j = s.queue.SelectPartner(running, s.DB.PartnerPriority(running))
 			if j != nil {
 				taken, err := s.queue.Take(j.ID)
@@ -203,13 +296,37 @@ func (s *OnlineScheduler) dispatch() {
 					panic(err)
 				}
 				j = taken
+				if s.met != nil {
+					now := s.Engine.Now()
+					s.met.pairs.Inc()
+					s.met.reg.Counter("sched.pair." + running.String() + "+" + j.Class.String()).Inc()
+					s.met.reg.Emit(metrics.Event{
+						At: now, Kind: metrics.EvPair, Job: j.ID, Node: target.id,
+						Detail: fmt.Sprintf("partner=%s running=%s", j.Class, running),
+					})
+					if head != nil && j.ID != head.ID {
+						s.met.leaps.Inc()
+						s.met.reg.Emit(metrics.Event{
+							At: now, Kind: metrics.EvLeap, Job: j.ID, Node: target.id,
+							Detail: fmt.Sprintf("over=%d", head.ID),
+						})
+					}
+				}
 			}
 		} else {
 			j = s.queue.PopHead()
+			if j != nil && s.met != nil {
+				s.met.reserves.Inc()
+				s.met.reg.Emit(metrics.Event{
+					At: s.Engine.Now(), Kind: metrics.EvReserve, Job: j.ID, Node: target.id,
+					Detail: "head claims fresh slot",
+				})
+			}
 		}
 		if j == nil {
 			return
 		}
+		s.sampleDepth()
 		s.place(target, j)
 	}
 }
@@ -223,7 +340,11 @@ func (s *OnlineScheduler) dispatch() {
 func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
 	s.accrueEnergy()
 	cfg := s.tuneFor(n, j)
-	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: s.Engine.Now()})
+	now := s.Engine.Now()
+	if s.met != nil {
+		s.met.waitFor(j.Class).Observe(now - j.Arrived)
+	}
+	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
 	s.reschedule(n)
 }
 
@@ -236,6 +357,13 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 		if err == nil && pairCfg[0].Mappers+pairCfg[1].Mappers <= s.Model.Spec.Cores {
 			resident.cfg.Freq = pairCfg[0].Freq
 			resident.cfg.Mappers = pairCfg[0].Mappers
+			if s.met != nil {
+				s.met.tunePair.Inc()
+				s.met.reg.Emit(metrics.Event{
+					At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: n.id,
+					Detail: fmt.Sprintf("pair cfg=%v resident=%d cfg=%v", pairCfg[1], resident.job.ID, pairCfg[0]),
+				})
+			}
 			return pairCfg[1]
 		}
 	}
@@ -252,6 +380,13 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 	}
 	if cfg.Mappers < 1 {
 		cfg.Mappers = 1
+	}
+	if s.met != nil {
+		s.met.tuneSolo.Inc()
+		s.met.reg.Emit(metrics.Event{
+			At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: n.id,
+			Detail: fmt.Sprintf("solo cfg=%v", cfg),
+		})
 	}
 	return cfg
 }
@@ -315,6 +450,15 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 			Node:      n.id,
 			Cfg:       finisher.cfg,
 		})
+		if s.met != nil {
+			now := s.Engine.Now()
+			s.met.completed.Inc()
+			s.met.turnaround.Observe(now - finisher.job.Arrived)
+			s.met.reg.Emit(metrics.Event{
+				At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: n.id,
+				Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
+			})
+		}
 		n.event = nil
 		s.reschedule(n)
 		s.dispatch()

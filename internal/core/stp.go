@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
 	"ecost/internal/ml"
 )
 
@@ -37,6 +38,109 @@ func (s *LkTSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
 		return [2]mapreduce.Config{}, err
 	}
 	return best.Cfg, nil
+}
+
+// PredictBestEDP implements PairEDPPredictor: the lookup table stores
+// the best-resembling known pair's measured EDP alongside its optimal
+// configuration, so LkT's own expectation comes for free.
+func (s *LkTSTP) PredictBestEDP(a, b Observation) ([2]mapreduce.Config, float64, error) {
+	best, err := s.DB.LookupBest(a, b)
+	if err != nil {
+		return [2]mapreduce.Config{}, 0, err
+	}
+	return best.Cfg, best.Out.EDP, nil
+}
+
+// PairEDPPredictor is implemented by STP techniques that expose their
+// own EDP estimate alongside the predicted configuration. The metered
+// wrapper uses it to score predicted-vs-realized EDP error online.
+type PairEDPPredictor interface {
+	PredictBestEDP(a, b Observation) ([2]mapreduce.Config, float64, error)
+}
+
+// MeteredSTP wraps any STP technique with observability: prediction
+// counts, the per-prediction candidate-scan size (the deterministic
+// latency proxy), wall-clock prediction latency (volatile — real time
+// is jittery, so it stays out of deterministic snapshots), and, for
+// techniques that expose their own EDP estimate, the error between the
+// predicted EDP and the execution model's realized EDP at the chosen
+// configuration. The realized-EDP check consults the observations'
+// ground-truth identity, which is fine for telemetry (like
+// CompletedJob.App) but means the wrapper must never feed predictions
+// back into the models.
+type MeteredSTP struct {
+	Inner STP
+	// Model realizes predicted configurations for EDP-error accounting;
+	// when nil the error metric is skipped.
+	Model *mapreduce.Model
+
+	predictions *metrics.Counter
+	failures    *metrics.Counter
+	evals       *metrics.Histogram
+	wall        *metrics.Histogram
+	edpErr      *metrics.Histogram
+}
+
+// NewMeteredSTP wraps inner, registering its instruments in reg (a nil
+// registry yields a zero-overhead pass-through).
+func NewMeteredSTP(inner STP, model *mapreduce.Model, reg *metrics.Registry) *MeteredSTP {
+	return &MeteredSTP{
+		Inner:       inner,
+		Model:       model,
+		predictions: reg.Counter("stp.predictions"),
+		failures:    reg.Counter("stp.failures"),
+		evals:       reg.Histogram("stp.predict.evals", metrics.ExpBuckets(1, 4, 10)),
+		wall:        reg.VolatileHistogram("stp.predict.wall_ns", metrics.ExpBuckets(1e3, 4, 12)),
+		edpErr:      reg.Histogram("stp.edp_err_pct", metrics.LinearBuckets(5, 5, 20)),
+	}
+}
+
+// Name implements STP.
+func (s *MeteredSTP) Name() string { return s.Inner.Name() }
+
+// PredictBest implements STP, recording telemetry around the inner call.
+func (s *MeteredSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
+	start := time.Now()
+	var cfg [2]mapreduce.Config
+	var predictedEDP float64
+	var havePrediction bool
+	var err error
+	if p, ok := s.Inner.(PairEDPPredictor); ok {
+		cfg, predictedEDP, err = p.PredictBestEDP(a, b)
+		havePrediction = err == nil
+	} else {
+		cfg, err = s.Inner.PredictBest(a, b)
+	}
+	s.wall.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		s.failures.Inc()
+		return cfg, err
+	}
+	s.predictions.Inc()
+	s.evals.Observe(float64(s.scanSize()))
+	if havePrediction && s.Model != nil && predictedEDP > 0 {
+		co, err2 := s.Model.Pair(
+			mapreduce.RunSpec{App: a.App, DataMB: a.SizeGB * 1024, Cfg: cfg[0]},
+			mapreduce.RunSpec{App: b.App, DataMB: b.SizeGB * 1024, Cfg: cfg[1]},
+		)
+		if err2 == nil && co.EDP > 0 {
+			s.edpErr.Observe(100 * math.Abs(predictedEDP-co.EDP) / co.EDP)
+		}
+	}
+	return cfg, nil
+}
+
+// scanSize is the deterministic work a single prediction performs: the
+// argmin sweep over the joint configuration space for model techniques,
+// the database scan for the lookup table.
+func (s *MeteredSTP) scanSize() int {
+	switch v := s.Inner.(type) {
+	case *MLMSTP:
+		return len(mapreduce.PairConfigsCached(v.db.Oracle().Model.Spec.Cores))
+	case *LkTSTP:
+		return len(v.DB.Entries)
+	}
+	return 1
 }
 
 // MLMSTP is the machine-learning-model technique (Figure 7): one

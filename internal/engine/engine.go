@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ecost/internal/metrics"
 )
 
 // KV is one key-value record.
@@ -49,6 +51,11 @@ type Job struct {
 	// (defaults to 1).
 	Mappers  int
 	Reducers int
+
+	// Metrics, when non-nil, receives the job's counters after Run:
+	// record counts and spill partitions as deterministic counters, and
+	// the map/reduce wall times as volatile histograms.
+	Metrics *metrics.Registry
 }
 
 // Split is one input slice: a list of records a single map task
@@ -66,6 +73,11 @@ type Counters struct {
 	OutputRecords       int64
 	MapTasks            int64
 	ReduceTasks         int64
+
+	// SpillPartitions counts the non-empty per-mapper, per-reducer
+	// partition buffers handed to the shuffle — the in-process analogue
+	// of Hadoop's map-side spill files.
+	SpillPartitions int64
 
 	MapTime    time.Duration
 	ReduceTime time.Duration
@@ -122,6 +134,7 @@ func Run(job Job, splits []Split) (*Result, error) {
 		in    int64
 		out   int64
 		cmb   int64
+		spl   int64
 	}
 	outs := make([]mapOut, len(splits))
 	sem := make(chan struct{}, mappers)
@@ -148,6 +161,11 @@ func Run(job Job, splits []Split) (*Result, error) {
 					parts[p] = combine(job.Combine, parts[p])
 				}
 			}
+			for p := range parts {
+				if len(parts[p]) > 0 {
+					outs[si].spl++
+				}
+			}
 			outs[si].parts = parts
 		}(si, split)
 	}
@@ -156,6 +174,7 @@ func Run(job Job, splits []Split) (*Result, error) {
 		ctr.MapInputRecords += o.in
 		ctr.MapOutputRecords += o.out
 		ctr.CombineInputRecords += o.cmb
+		ctr.SpillPartitions += o.spl
 	}
 	ctr.MapTime = time.Since(mapStart)
 
@@ -216,7 +235,31 @@ func Run(job Job, splits []Split) (*Result, error) {
 	})
 	ctr.OutputRecords = int64(len(output))
 	ctr.TotalTime = time.Since(start)
+	job.observe(&ctr)
 	return &Result{Output: output, Counters: ctr}, nil
+}
+
+// observe publishes the finished job's counters to the attached
+// registry. Record and spill counts are deterministic; phase wall times
+// go to volatile histograms excluded from deterministic snapshots.
+func (j Job) observe(c *Counters) {
+	reg := j.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine.jobs").Inc()
+	reg.Counter("engine.map.tasks").Add(c.MapTasks)
+	reg.Counter("engine.map.records_in").Add(c.MapInputRecords)
+	reg.Counter("engine.map.records_out").Add(c.MapOutputRecords)
+	reg.Counter("engine.combine.records_in").Add(c.CombineInputRecords)
+	reg.Counter("engine.spill.partitions").Add(c.SpillPartitions)
+	reg.Counter("engine.reduce.keys").Add(c.ReduceInputKeys)
+	reg.Counter("engine.reduce.records").Add(c.ReduceInputRecords)
+	reg.Counter("engine.output.records").Add(c.OutputRecords)
+	reg.VolatileHistogram("engine.map.wall_ns", metrics.ExpBuckets(1e3, 4, 14)).
+		Observe(float64(c.MapTime.Nanoseconds()))
+	reg.VolatileHistogram("engine.reduce.wall_ns", metrics.ExpBuckets(1e3, 4, 14)).
+		Observe(float64(c.ReduceTime.Nanoseconds()))
 }
 
 // combine runs a reduce-style function over a single mapper's partition

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"ecost/internal/core"
+	"ecost/internal/sim"
+)
+
+// freshRunEnv clones the shared environment but resets every stateful
+// component a figure run touches: a new oracle (so the second run cannot
+// trivially replay memoized results) and a new profiler seeded
+// identically (so the measurement-noise sequence restarts). The
+// database and trained models are immutable and stay shared.
+func freshRunEnv(t *testing.T) *Env {
+	t.Helper()
+	base := sharedEnv(t)
+	e := *base
+	e.Oracle = core.NewOracle(base.Model)
+	e.Profiler = core.NewProfiler(base.Model, sim.NewRNG(base.Seed))
+	return &e
+}
+
+// TestFig9GoldenRerun runs a Figure-9 subset twice from scratch and
+// requires the rendered tables to be byte-identical: the whole policy
+// pipeline (profiling noise, parallel COLAO search, pairing, tuning)
+// must be deterministic for a fixed seed.
+func TestFig9GoldenRerun(t *testing.T) {
+	wl, err := core.Scenario("WS4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		env := freshRunEnv(t)
+		tbl, _, err := Fig9OnWith(env, env.LkT, []core.Workload{wl}, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("Figure-9 rerun diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestFig3GoldenRerun repeats the COLAO-vs-ILAO comparison; it
+// exercises many parallel pair searches, so it is the strongest
+// determinism check in the suite. Skipped with -short (the CI race job
+// runs short mode).
+func TestFig3GoldenRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden double-run skipped in -short mode")
+	}
+	run := func() string {
+		env := freshRunEnv(t)
+		tbl, _, err := Fig3ColaoVsIlao(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("Figure-3 rerun diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

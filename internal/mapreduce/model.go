@@ -6,6 +6,7 @@ import (
 
 	"ecost/internal/cluster"
 	"ecost/internal/hdfs"
+	"ecost/internal/metrics"
 	"ecost/internal/perfctr"
 	"ecost/internal/power"
 	"ecost/internal/sim"
@@ -119,6 +120,13 @@ type Model struct {
 	// and power using rng; leave zero for the deterministic oracle runs.
 	Noise float64
 	rng   *sim.RNG
+
+	// Metrics, when non-nil, receives steady-state telemetry from the
+	// online scheduling path (phase timings, contention slowdown). The
+	// oracle's brute-force searches go through CoLocate/evaluate and
+	// stay uninstrumented, so a scheduler-attached registry never taxes
+	// the search hot path.
+	Metrics *metrics.Registry
 }
 
 // NewModel returns the calibrated model for the given node spec.
@@ -526,7 +534,36 @@ func (m *Model) Steady(specs []RunSpec) ([]SteadyState, float64, error) {
 		active[i] = true
 	}
 	watts := power.NodePower(m.Spec, m.activity(specs, sts, active))
+	m.observeSteady(specs, sts)
 	return out, watts, nil
+}
+
+// observeSteady records steady-state telemetry: per-application phase
+// timings under the current contention and, for multi-resident sets,
+// the contention slowdown factor (co-located job time over the same
+// application's solo time at the same configuration). Everything is
+// derived from the deterministic model, so the metrics are exact.
+func (m *Model) observeSteady(specs []RunSpec, sts []steady) {
+	if m.Metrics == nil {
+		return
+	}
+	m.Metrics.Counter("model.steady.calls").Inc()
+	mapPhase := m.Metrics.Histogram("model.phase.map_s", metrics.ExpBuckets(16, 2, 14))
+	redPhase := m.Metrics.Histogram("model.phase.reduce_s", metrics.ExpBuckets(16, 2, 14))
+	for _, st := range sts {
+		mapPhase.Observe(st.mapTime)
+		redPhase.Observe(st.redTime)
+	}
+	if len(specs) < 2 {
+		return
+	}
+	slow := m.Metrics.Histogram("model.contention.slowdown", metrics.LinearBuckets(1, 0.25, 17))
+	for i := range specs {
+		solo := m.evaluate(specs[i : i+1])
+		if solo[0].T > 0 {
+			slow.Observe(sts[i].T / solo[0].T)
+		}
+	}
 }
 
 // IdlePower returns the node's idle draw — what an empty node burns.

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time, name-sorted copy of every instrument.
+// Taken from a deterministic simulation it is itself deterministic:
+// rendering the same snapshot twice — or the snapshot of two same-seed
+// runs — yields byte-identical output (volatile wall-clock instruments
+// are excluded unless requested; see Registry.Snapshot).
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters,omitempty"`
+	Gauges     []GaugeSnap   `json:"gauges,omitempty"`
+	Histograms []HistSnap    `json:"histograms,omitempty"`
+	Series     []SeriesSnap  `json:"series,omitempty"`
+	Events     []Event       `json:"events,omitempty"`
+}
+
+// CounterSnap is one counter's reading.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's reading.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap summarizes one histogram.
+type HistSnap struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	Sum      float64 `json:"sum"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Volatile bool    `json:"volatile,omitempty"`
+}
+
+// SeriesSnap carries one series' retained points plus a summary.
+type SeriesSnap struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+	Last   float64 `json:"last"`
+	Max    float64 `json:"max"`
+}
+
+// Snapshot copies every instrument, sorted by name. Volatile
+// (wall-clock) histograms are included only when includeVolatile is
+// true; everything else in the snapshot is deterministic.
+func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	s.Events = append([]Event(nil), r.events...)
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		if h.Volatile() && !includeVolatile {
+			continue
+		}
+		hs := HistSnap{Name: name, Count: h.Count(), Sum: h.Sum(), Volatile: h.Volatile()}
+		if hs.Count > 0 {
+			hs.Min = h.min.load()
+			hs.Max = h.max.load()
+			hs.P50 = h.Quantile(0.50)
+			hs.P95 = h.Quantile(0.95)
+			hs.P99 = h.Quantile(0.99)
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for name, se := range series {
+		ss := SeriesSnap{Name: name, Points: se.Points()}
+		for i, p := range ss.Points {
+			if i == 0 || p.V > ss.Max {
+				ss.Max = p.V
+			}
+			ss.Last = p.V
+		}
+		s.Series = append(s.Series, ss)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Series, func(i, j int) bool { return s.Series[i].Name < s.Series[j].Name })
+	return s
+}
+
+// fmtF renders a float the same way everywhere (shortest round-trip
+// form) so text expositions are byte-stable.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders the snapshot as a human-readable exposition. Series
+// are summarized (count/last/max); the full point lists travel in the
+// JSON form.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# ecost metrics snapshot"); err != nil {
+		return err
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "  %-32s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "  %-32s %s\n", g.Name, fmtF(g.Value))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, h := range s.Histograms {
+			tag := ""
+			if h.Volatile {
+				tag = " (volatile)"
+			}
+			if h.Count == 0 {
+				fmt.Fprintf(w, "  %-32s count=0%s\n", h.Name, tag)
+				continue
+			}
+			fmt.Fprintf(w, "  %-32s count=%d sum=%s min=%s p50=%s p95=%s p99=%s max=%s%s\n",
+				h.Name, h.Count, fmtF(h.Sum), fmtF(h.Min),
+				fmtF(h.P50), fmtF(h.P95), fmtF(h.P99), fmtF(h.Max), tag)
+		}
+	}
+	if len(s.Series) > 0 {
+		fmt.Fprintln(w, "series:")
+		for _, se := range s.Series {
+			fmt.Fprintf(w, "  %-32s points=%d last=%s max=%s\n",
+				se.Name, len(se.Points), fmtF(se.Last), fmtF(se.Max))
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintln(w, "events:")
+		for _, e := range s.Events {
+			fmt.Fprintf(w, "  %12.3f %-8s job=%-3d node=%-3d %s\n",
+				e.At, e.Kind, e.Job, e.Node, e.Detail)
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (full series points
+// included).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
