@@ -9,6 +9,7 @@
 package ecost
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -23,20 +24,48 @@ var (
 	benchEnv  *experiments.Env
 )
 
+func benchOptions() experiments.Options {
+	if testing.Short() {
+		return experiments.FastOptions()
+	}
+	return experiments.DefaultOptions()
+}
+
+// env returns the shared benchmark environment. Set ECOST_BENCH_CACHE
+// to a directory to persist the built database and trained models
+// across runs (CI caches it keyed on the source hash).
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
-		opt := experiments.DefaultOptions()
-		if testing.Short() {
-			opt = experiments.FastOptions()
+		opt := benchOptions()
+		var e *experiments.Env
+		var err error
+		if dir := os.Getenv("ECOST_BENCH_CACHE"); dir != "" {
+			e, _, err = experiments.LoadOrBuildEnv(opt, dir)
+		} else {
+			e, err = experiments.NewEnv(opt)
 		}
-		e, err := experiments.NewEnv(opt)
 		if err != nil {
 			panic(err)
 		}
 		benchEnv = e
 	})
 	return benchEnv
+}
+
+// BenchmarkEnvBuild measures the full offline pipeline — profiling,
+// the COLAO searches, the training-row sweeps and model training — the
+// cost the parallel build and the artifact cache attack. It always
+// builds from scratch (no cache), so ns/op is the cold-start cost at
+// the current GOMAXPROCS.
+func BenchmarkEnvBuild(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewEnv(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig1PCA regenerates Figure 1 (PCA + clustering of the 14
@@ -199,6 +228,7 @@ func BenchmarkSTPPredict(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.REPTree.PredictBest(oa, ob); err != nil {

@@ -5,9 +5,14 @@
 // Usage:
 //
 //	ecost-bench [-exp all|fig1|fig2|fig3|fig5|table1|table2|table3|fig8|fig9] [-fast] [-nodes 1,2,4,8]
+//	            [-cache DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -fast builds a coarser database (unit-test fidelity) for a quick look;
 // the default configuration reproduces the EXPERIMENTS.md numbers.
+// -cache persists the built database and trained models under DIR so
+// repeat runs skip the build. -cpuprofile/-memprofile write pprof
+// profiles covering the whole run (build + experiments); see README.md
+// for the analysis workflow.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -28,7 +35,40 @@ func main() {
 	fast := flag.Bool("fast", false, "use the fast (coarse) environment")
 	nodesFlag := flag.String("nodes", "1,2,4,8", "cluster sizes for fig9")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	cacheDir := flag.String("cache", "", "cache the built environment (database + models) under this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -62,13 +102,29 @@ func main() {
 		opt = experiments.FastOptions()
 	}
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building environment (database + models)...\n")
-	env, err := experiments.NewEnv(opt)
+	var env *experiments.Env
+	var err error
+	if *cacheDir != "" {
+		var hit bool
+		env, hit, err = experiments.LoadOrBuildEnv(opt, *cacheDir)
+		if err == nil {
+			if hit {
+				fmt.Fprintf(os.Stderr, "environment loaded from cache in %v\n\n", time.Since(start).Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(os.Stderr, "environment built and cached in %v\n\n", time.Since(start).Round(time.Millisecond))
+			}
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "building environment (database + models)...\n")
+		env, err = experiments.NewEnv(opt)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	writeCSV := func(name string, tbl experiments.Table) {
 		if *csvDir == "" {

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ecost/internal/mapreduce"
 	"ecost/internal/workloads"
@@ -92,6 +95,10 @@ type BuildOptions struct {
 	// generating ML training rows: every stride-th configuration is
 	// evaluated (1 = all 11,200 per pair). Larger strides build faster.
 	ConfigStride int
+	// Workers sizes the pair-level worker pool (0 = GOMAXPROCS). Results
+	// merge in canonical pair order, so every worker count — including 1,
+	// the serial build — produces an identical database.
+	Workers int
 }
 
 // DefaultBuildOptions matches the paper's setup with a training-tractable
@@ -103,6 +110,12 @@ func DefaultBuildOptions() BuildOptions {
 // BuildDatabase profiles the training applications, runs the COLAO
 // search for every known pair and size combination, and assembles the
 // per-class-pair training matrices.
+//
+// Pair jobs fan out over a worker pool (each worker sweeps the joint
+// configuration space through a reused evaluator); results merge back
+// in canonical (i, j) pair order, so the entries, the training rows and
+// everything trained from them are byte-identical to a serial build at
+// any worker count.
 func BuildDatabase(profiler *Profiler, oracle *Oracle, training []workloads.App, opt BuildOptions) (*Database, error) {
 	if len(training) == 0 {
 		return nil, fmt.Errorf("core: database: no training applications")
@@ -136,52 +149,221 @@ func BuildDatabase(profiler *Profiler, oracle *Oracle, training []workloads.App,
 		classer: classer,
 		oracle:  oracle,
 	}
-	configs := mapreduce.PairConfigsCached(oracle.Model.Spec.Cores)
+
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
 	for i := 0; i < len(obs); i++ {
 		for j := i; j < len(obs); j++ {
-			a, b := obs[i], obs[j]
-			best, err := oracle.COLAO(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024)
-			if err != nil {
-				return nil, err
-			}
-			db.Entries = append(db.Entries, DBEntry{A: a, B: b, Best: best})
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	type pairResult struct {
+		entry DBEntry
+		cp    ClassPair
+		rows  []TrainRow
+		err   error
+	}
+	results := make([]pairResult, len(jobs))
 
-			base, err := oracle.EvalPair(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024,
-				baselinePairConfig(oracle.Model.Spec.Cores))
-			if err != nil {
-				return nil, err
-			}
-			cp := NewClassPair(a.App.Class, b.App.Class)
-			caObs, cbObs := a, b
-			if slotLess(b, a) {
-				caObs, cbObs = b, a
-			}
-			fa, fb := caObs.Reduced(), cbObs.Reduced()
-			for k := 0; k < len(configs); k += opt.ConfigStride {
-				pc := configs[k]
-				co, err := oracle.EvalPair(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024, pc)
-				if err != nil {
-					return nil, err
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := oracle.Model.NewEvaluator()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(jobs) {
+					return
 				}
-				// Canonical slot order so asymmetric class pairs always
-				// see the lower class in slot 0 (prediction swaps the
-				// same way and swaps the answer back).
-				ca, cb, pcc := a, b, pc
-				if slotLess(b, a) {
-					ca, cb = b, a
-					pcc[0], pcc[1] = pc[1], pc[0]
-				}
-				db.Rows[cp] = append(db.Rows[cp], TrainRow{
-					X:      ConfigRow(ca.SizeGB, cb.SizeGB, pcc),
-					EDP:    co.EDP,
-					RelEDP: co.EDP / base.EDP,
-					FA:     fa,
-					FB:     fb,
-				})
+				a, b := obs[jobs[n].i], obs[jobs[n].j]
+				entry, cp, rows, err := buildPair(oracle, ev, a, b, opt.ConfigStride)
+				results[n] = pairResult{entry: entry, cp: cp, rows: rows, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge: canonical (i, j) order, exactly the serial
+	// loop's append order.
+	for n := range results {
+		if results[n].err != nil {
+			return nil, results[n].err
+		}
+		db.Entries = append(db.Entries, results[n].entry)
+		db.Rows[results[n].cp] = append(db.Rows[results[n].cp], results[n].rows...)
+	}
+	return db, nil
+}
+
+// buildPair computes one database pair: the COLAO-optimal entry plus
+// the strided training-row sweep. The evaluator is reused across
+// configurations (zero allocations per point); row feature vectors
+// reference the shared design matrix where the canonical slot order
+// permits.
+func buildPair(oracle *Oracle, ev *mapreduce.Evaluator, a, b Observation, stride int) (DBEntry, ClassPair, []TrainRow, error) {
+	best, err := oracle.COLAO(a.App, a.SizeGB*1024, b.App, b.SizeGB*1024)
+	if err != nil {
+		return DBEntry{}, ClassPair{}, nil, err
+	}
+	entry := DBEntry{A: a, B: b, Best: best}
+	cp, rows, err := pairRows(oracle, ev, a, b, stride)
+	if err != nil {
+		return DBEntry{}, ClassPair{}, nil, err
+	}
+	return entry, cp, rows, nil
+}
+
+// pairRows runs the strided training-row sweep for one pair — the
+// COLAO-independent part of buildPair, reused by RebuildRows when a
+// loaded database (entries only) needs its training matrices back.
+func pairRows(oracle *Oracle, ev *mapreduce.Evaluator, a, b Observation, stride int) (ClassPair, []TrainRow, error) {
+	cores := oracle.Model.Spec.Cores
+	specA := mapreduce.RunSpec{App: a.App, DataMB: a.SizeGB * 1024}
+	specB := mapreduce.RunSpec{App: b.App, DataMB: b.SizeGB * 1024}
+	baseCfg := baselinePairConfig(cores)
+	specA.Cfg, specB.Cfg = baseCfg[0], baseCfg[1]
+	base, err := ev.PairMetrics(specA, specB)
+	if err != nil {
+		return ClassPair{}, nil, err
+	}
+
+	cp := NewClassPair(a.App.Class, b.App.Class)
+	swapped := slotLess(b, a)
+	caObs, cbObs := a, b
+	if swapped {
+		caObs, cbObs = b, a
+	}
+	fa, fb := caObs.Reduced(), cbObs.Reduced()
+	configs := mapreduce.PairConfigsCached(cores)
+	dm := DesignMatrixCached(cores, caObs.SizeGB, cbObs.SizeGB)
+	rows := make([]TrainRow, 0, (len(configs)+stride-1)/stride)
+	for k := 0; k < len(configs); k += stride {
+		pc := configs[k]
+		specA.Cfg, specB.Cfg = pc[0], pc[1]
+		co, err := ev.PairMetrics(specA, specB)
+		if err != nil {
+			return ClassPair{}, nil, err
+		}
+		// Canonical slot order so asymmetric class pairs always see the
+		// lower class in slot 0 (prediction swaps the same way and swaps
+		// the answer back). In the unswapped case the input row IS the
+		// shared design-matrix row; only swapped slots materialize one.
+		x := dm[k]
+		if swapped {
+			x = ConfigRow(caObs.SizeGB, cbObs.SizeGB, [2]mapreduce.Config{pc[1], pc[0]})
+		}
+		rows = append(rows, TrainRow{
+			X:      x,
+			EDP:    co.EDP,
+			RelEDP: co.EDP / base.EDP,
+			FA:     fa,
+			FB:     fb,
+		})
+	}
+	return cp, rows, nil
+}
+
+// HasRows reports whether the training matrices are populated. A
+// database loaded from disk carries entries only (rows are too large to
+// persist at full stride); RebuildRows restores them.
+func (db *Database) HasRows() bool {
+	for _, rows := range db.Rows {
+		if len(rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RebuildRows regenerates the per-class-pair training matrices from the
+// entries' stored observations — the sweep half of BuildDatabase,
+// skipping the COLAO searches the entries already hold. The sweep is a
+// pure function of the observations, so the rebuilt rows are
+// byte-identical to the original build's. Jobs fan out and merge
+// exactly like BuildDatabase.
+func (db *Database) RebuildRows(opt BuildOptions) error {
+	if db.oracle == nil {
+		return fmt.Errorf("core: rebuild rows: database has no oracle")
+	}
+	if opt.ConfigStride < 1 {
+		opt.ConfigStride = 1
+	}
+	// Recover the unique observation list in build order: entries are in
+	// canonical (i, j) order, so first appearance order is index order.
+	type obsKey struct {
+		app  string
+		size float64
+	}
+	seen := make(map[obsKey]bool)
+	var obs []Observation
+	for _, e := range db.Entries {
+		for _, o := range []Observation{e.A, e.B} {
+			k := obsKey{o.App.Name, o.SizeGB}
+			if !seen[k] {
+				seen[k] = true
+				obs = append(obs, o)
 			}
 		}
 	}
-	return db, nil
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < len(obs); i++ {
+		for j := i; j < len(obs); j++ {
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	if len(jobs) != len(db.Entries) {
+		return fmt.Errorf("core: rebuild rows: %d entries do not form a full pair grid over %d observations", len(db.Entries), len(obs))
+	}
+	type rowResult struct {
+		cp   ClassPair
+		rows []TrainRow
+		err  error
+	}
+	results := make([]rowResult, len(jobs))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := db.oracle.Model.NewEvaluator()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(jobs) {
+					return
+				}
+				cp, rows, err := pairRows(db.oracle, ev, obs[jobs[n].i], obs[jobs[n].j], opt.ConfigStride)
+				results[n] = rowResult{cp: cp, rows: rows, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	rowsByPair := make(map[ClassPair][]TrainRow)
+	for n := range results {
+		if results[n].err != nil {
+			return results[n].err
+		}
+		rowsByPair[results[n].cp] = append(rowsByPair[results[n].cp], results[n].rows...)
+	}
+	db.Rows = rowsByPair
+	return nil
 }
 
 // ConfigRow assembles the model input for one tunable-parameter
@@ -236,26 +418,77 @@ func (db *Database) LookupBest(a, b Observation) (PairBest, error) {
 	}
 	na := db.classer.NearestKnown(a)
 	nb := db.classer.NearestKnown(b)
-	var found *DBEntry
-	swapped := false
-	for i := range db.Entries {
-		e := &db.Entries[i]
-		if e.A.App.Name == na.App.Name && e.A.SizeGB == na.SizeGB &&
-			e.B.App.Name == nb.App.Name && e.B.SizeGB == nb.SizeGB {
-			found = e
-			swapped = false
-			break
+	direct, reverse := db.scanEntries(na, nb)
+	switch {
+	case direct >= 0:
+		return unswap(db.Entries[direct].Best, false), nil
+	case reverse >= 0:
+		return unswap(db.Entries[reverse].Best, true), nil
+	}
+	return PairBest{}, fmt.Errorf("core: lookup: no entry for %s/%s", na.App.Name, nb.App.Name)
+}
+
+// lookupParallelMin is the entry count below which the LkT scan stays
+// serial: the paper-scale table (hundreds of entries) fits one core's
+// sweep, but a production-scale table fans out.
+const lookupParallelMin = 2048
+
+// scanEntries finds the lowest-index direct match and the highest-index
+// reverse match for the nearest-known pair — the parallel-safe
+// restatement of the serial scan's "first direct wins, else last
+// reverse" rule, so both paths return identical entries.
+func (db *Database) scanEntries(na, nb Observation) (direct, reverse int) {
+	match := func(lo, hi int) (d, r int) {
+		d, r = -1, -1
+		for i := lo; i < hi; i++ {
+			e := &db.Entries[i]
+			if e.A.App.Name == na.App.Name && e.A.SizeGB == na.SizeGB &&
+				e.B.App.Name == nb.App.Name && e.B.SizeGB == nb.SizeGB {
+				return i, r
+			}
+			if e.A.App.Name == nb.App.Name && e.A.SizeGB == nb.SizeGB &&
+				e.B.App.Name == na.App.Name && e.B.SizeGB == na.SizeGB {
+				r = i
+			}
 		}
-		if e.A.App.Name == nb.App.Name && e.A.SizeGB == nb.SizeGB &&
-			e.B.App.Name == na.App.Name && e.B.SizeGB == na.SizeGB {
-			found = e
-			swapped = true
+		return d, r
+	}
+	n := len(db.Entries)
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < lookupParallelMin {
+		return match(0, n)
+	}
+	type span struct{ d, r int }
+	results := make([]span, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			results[w] = span{-1, -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			d, r := match(lo, hi)
+			results[w] = span{d, r}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	direct, reverse = -1, -1
+	for _, s := range results {
+		if s.d >= 0 && (direct < 0 || s.d < direct) {
+			direct = s.d
+		}
+		if s.r > reverse {
+			reverse = s.r
 		}
 	}
-	if found == nil {
-		return PairBest{}, fmt.Errorf("core: lookup: no entry for %s/%s", na.App.Name, nb.App.Name)
-	}
-	return unswap(found.Best, swapped), nil
+	return direct, reverse
 }
 
 // pairBenefits computes, per class pair, the mean co-location benefit

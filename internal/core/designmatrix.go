@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+
+	"ecost/internal/mapreduce"
+)
+
+// The MLM-STP argmin and the database's training-row sweep both iterate
+// ConfigRow over the full joint configuration space for a (sizeA,
+// sizeB) combination. The row depends only on (cores, sizeA, sizeB) —
+// the knobs come from the shared PairConfigsCached enumeration — so the
+// whole design matrix is precomputed once per combination and shared,
+// exactly like PairConfigsCached: the data-size grid is tiny (the
+// paper's 1/5/10 GB), so the cache stays small while every prediction
+// drops from 11,200 ConfigRow allocations to zero.
+
+type designKey struct {
+	cores        int
+	sizeA, sizeB float64
+}
+
+var designCache sync.Map // designKey → [][]float64
+
+// DesignMatrixCached returns the ConfigRow design matrix for every
+// configuration in PairConfigsCached(cores), in enumeration order:
+// row i is ConfigRow(sizeA, sizeB, PairConfigsCached(cores)[i]).
+// The matrix is shared — callers must not mutate the rows.
+func DesignMatrixCached(cores int, sizeA, sizeB float64) [][]float64 {
+	k := designKey{cores, sizeA, sizeB}
+	if v, ok := designCache.Load(k); ok {
+		return v.([][]float64)
+	}
+	pcs := mapreduce.PairConfigsCached(cores)
+	if len(pcs) == 0 {
+		return nil
+	}
+	rows := make([][]float64, len(pcs))
+	// One backing array keeps the matrix cache-dense for the sweep.
+	width := len(ConfigRow(sizeA, sizeB, pcs[0]))
+	flat := make([]float64, len(pcs)*width)
+	for i, pc := range pcs {
+		row := flat[i*width : (i+1)*width : (i+1)*width]
+		copy(row, ConfigRow(sizeA, sizeB, pc))
+		rows[i] = row
+	}
+	v, _ := designCache.LoadOrStore(k, rows)
+	return v.([][]float64)
+}

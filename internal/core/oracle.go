@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/maphash"
 	"math"
 	"runtime"
 	"sync"
@@ -29,11 +30,38 @@ type PairBest struct {
 // execution model, memoizing results: the full COLAO search for a pair
 // covers every joint knob setting with m1+m2 ≤ cores (the study's
 // 84,480-run budget collapses to milliseconds on the analytic model).
+//
+// The oracle is safe for concurrent use: memoization is sharded (one
+// mutex per shard, keyed by a hash of the search key) and each key is
+// computed at most once — concurrent callers of the same uncached
+// search wait for the single in-flight computation instead of
+// duplicating an 11,200-point scan.
 type Oracle struct {
 	Model *mapreduce.Model
 
-	solo map[soloKey]SoloBest
-	pair map[pairKey]PairBest
+	seed   maphash.Seed
+	shards [oracleShards]oracleShard
+}
+
+// oracleShards is a power of two so shard selection is a mask. 16
+// shards keeps contention negligible for the worker-pool sizes the
+// database build uses.
+const oracleShards = 16
+
+type oracleShard struct {
+	mu       sync.Mutex
+	solo     map[soloKey]SoloBest
+	pair     map[pairKey]PairBest
+	soloWait map[soloKey]*inflight[SoloBest]
+	pairWait map[pairKey]*inflight[PairBest]
+}
+
+// inflight is one in-progress search other goroutines can wait on
+// (a minimal per-key singleflight).
+type inflight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
 }
 
 type soloKey struct {
@@ -57,33 +85,87 @@ func canonPair(a workloads.App, dataA float64, b workloads.App, dataB float64) (
 
 // NewOracle returns a memoizing oracle over the given model.
 func NewOracle(m *mapreduce.Model) *Oracle {
-	return &Oracle{
-		Model: m,
-		solo:  make(map[soloKey]SoloBest),
-		pair:  make(map[pairKey]PairBest),
+	o := &Oracle{Model: m, seed: maphash.MakeSeed()}
+	for i := range o.shards {
+		o.shards[i] = oracleShard{
+			solo:     make(map[soloKey]SoloBest),
+			pair:     make(map[pairKey]PairBest),
+			soloWait: make(map[soloKey]*inflight[SoloBest]),
+			pairWait: make(map[pairKey]*inflight[PairBest]),
+		}
 	}
+	return o
+}
+
+func (o *Oracle) soloShard(k soloKey) *oracleShard {
+	var h maphash.Hash
+	h.SetSeed(o.seed)
+	h.WriteString(k.app)
+	return &o.shards[h.Sum64()&(oracleShards-1)]
+}
+
+func (o *Oracle) pairShard(k pairKey) *oracleShard {
+	var h maphash.Hash
+	h.SetSeed(o.seed)
+	h.WriteString(k.appA)
+	h.WriteString(k.appB)
+	return &o.shards[h.Sum64()&(oracleShards-1)]
 }
 
 // BestSolo exhaustively tunes one application running alone.
 func (o *Oracle) BestSolo(app workloads.App, dataMB float64) (SoloBest, error) {
 	k := soloKey{app.Name, dataMB}
-	if b, ok := o.solo[k]; ok {
+	sh := o.soloShard(k)
+	sh.mu.Lock()
+	if b, ok := sh.solo[k]; ok {
+		sh.mu.Unlock()
 		return b, nil
 	}
-	best := SoloBest{}
+	if c, ok := sh.soloWait[k]; ok {
+		sh.mu.Unlock()
+		<-c.done
+		return c.v, c.err
+	}
+	c := &inflight[SoloBest]{done: make(chan struct{})}
+	sh.soloWait[k] = c
+	sh.mu.Unlock()
+
+	c.v, c.err = o.searchSolo(app, dataMB)
+	sh.mu.Lock()
+	if c.err == nil {
+		sh.solo[k] = c.v
+	}
+	delete(sh.soloWait, k)
+	sh.mu.Unlock()
+	close(c.done)
+	return c.v, c.err
+}
+
+// searchSolo scans the standalone tuning space (160 points) with a
+// reused evaluator, then realizes the winner's full outcome.
+func (o *Oracle) searchSolo(app workloads.App, dataMB float64) (SoloBest, error) {
+	ev := o.Model.NewEvaluator()
+	cfgs := mapreduce.AllConfigs(o.Model.Spec.Cores)
+	bestIdx := -1
 	bestEDP := math.Inf(1)
-	for _, cfg := range mapreduce.AllConfigs(o.Model.Spec.Cores) {
-		_, co, err := o.Model.Solo(mapreduce.RunSpec{App: app, DataMB: dataMB, Cfg: cfg})
+	for i, cfg := range cfgs {
+		cm, err := ev.SoloMetrics(mapreduce.RunSpec{App: app, DataMB: dataMB, Cfg: cfg})
 		if err != nil {
 			return SoloBest{}, fmt.Errorf("core: solo oracle %s: %w", app.Name, err)
 		}
-		if co.EDP < bestEDP {
-			bestEDP = co.EDP
-			best = SoloBest{Cfg: cfg, Out: co}
+		if cm.EDP < bestEDP {
+			bestEDP = cm.EDP
+			bestIdx = i
 		}
 	}
-	o.solo[k] = best
-	return best, nil
+	if bestIdx < 0 {
+		return SoloBest{}, fmt.Errorf("core: solo oracle %s: empty configuration space", app.Name)
+	}
+	co, err := ev.Solo(mapreduce.RunSpec{App: app, DataMB: dataMB, Cfg: cfgs[bestIdx]})
+	if err != nil {
+		return SoloBest{}, fmt.Errorf("core: solo oracle %s: %w", app.Name, err)
+	}
+	return SoloBest{Cfg: cfgs[bestIdx], Out: co}, nil
 }
 
 // ILAO evaluates the individually-located application optimization
@@ -107,27 +189,55 @@ func (o *Oracle) ILAO(a workloads.App, dataA float64, b workloads.App, dataB flo
 // brute-force search over the joint configuration space for the pair.
 func (o *Oracle) COLAO(a workloads.App, dataA float64, b workloads.App, dataB float64) (PairBest, error) {
 	k, swapped := canonPair(a, dataA, b, dataB)
-	if best, ok := o.pair[k]; ok {
+	sh := o.pairShard(k)
+	sh.mu.Lock()
+	if best, ok := sh.pair[k]; ok {
+		sh.mu.Unlock()
 		return unswap(best, swapped), nil
 	}
+	if c, ok := sh.pairWait[k]; ok {
+		sh.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return PairBest{}, c.err
+		}
+		return unswap(c.v, swapped), nil
+	}
+	c := &inflight[PairBest]{done: make(chan struct{})}
+	sh.pairWait[k] = c
+	sh.mu.Unlock()
+
 	ca, cb := a, b
 	da, db := dataA, dataB
 	if swapped {
 		ca, cb, da, db = b, a, dataB, dataA
 	}
-	best, err := o.searchPair(ca, da, cb, db)
-	if err != nil {
-		return PairBest{}, err
+	c.v, c.err = o.searchPair(ca, da, cb, db)
+	sh.mu.Lock()
+	if c.err == nil {
+		sh.pair[k] = c.v
 	}
-	o.pair[k] = best
-	return unswap(best, swapped), nil
+	delete(sh.pairWait, k)
+	sh.mu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return PairBest{}, c.err
+	}
+	return unswap(c.v, swapped), nil
 }
+
+// searchPairChunk is the batch granularity of the COLAO scan: small
+// enough that per-worker metric buffers stay cache-resident, large
+// enough to amortize the loop bookkeeping.
+const searchPairChunk = 512
 
 // searchPair scans the 11,200-point joint configuration space with a
 // pool of worker goroutines (the execution model is pure, so the scan is
-// embarrassingly parallel). Each worker keeps its chunk's argmin; the
-// merge breaks EDP ties by configuration index, so the result is
-// bit-identical to the serial scan regardless of worker count.
+// embarrassingly parallel). Each worker sweeps its chunks through a
+// reused Evaluator via PairBatch — zero allocations per configuration —
+// and keeps its chunk's argmin; the merge breaks EDP ties by
+// configuration index, so the result is bit-identical to the serial
+// scan regardless of worker count.
 func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dataB float64) (PairBest, error) {
 	pcs := mapreduce.PairConfigsCached(o.Model.Spec.Cores)
 	workers := runtime.GOMAXPROCS(0)
@@ -139,7 +249,6 @@ func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dat
 	}
 	type localBest struct {
 		idx  int
-		out  mapreduce.CoOutcome
 		err  error
 		edp  float64
 		seen bool
@@ -147,6 +256,8 @@ func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dat
 	results := make([]localBest, workers)
 	var wg sync.WaitGroup
 	chunk := (len(pcs) + workers - 1) / workers
+	specA := mapreduce.RunSpec{App: a, DataMB: dataA}
+	specB := mapreduce.RunSpec{App: b, DataMB: dataB}
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -159,18 +270,23 @@ func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dat
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			ev := o.Model.NewEvaluator()
+			var buf [searchPairChunk]mapreduce.CoMetrics
 			lb := localBest{edp: math.Inf(1)}
-			for i := lo; i < hi; i++ {
-				co, err := o.Model.Pair(
-					mapreduce.RunSpec{App: a, DataMB: dataA, Cfg: pcs[i][0]},
-					mapreduce.RunSpec{App: b, DataMB: dataB, Cfg: pcs[i][1]},
-				)
-				if err != nil {
+			for start := lo; start < hi; start += searchPairChunk {
+				end := start + searchPairChunk
+				if end > hi {
+					end = hi
+				}
+				out := buf[:end-start]
+				if err := ev.PairBatch(specA, specB, pcs[start:end], out); err != nil {
 					lb.err = err
 					break
 				}
-				if co.EDP < lb.edp {
-					lb = localBest{idx: i, out: co, edp: co.EDP, seen: true}
+				for j, cm := range out {
+					if cm.EDP < lb.edp {
+						lb = localBest{idx: start + j, edp: cm.EDP, seen: true}
+					}
 				}
 			}
 			results[w] = lb
@@ -192,7 +308,12 @@ func (o *Oracle) searchPair(a workloads.App, dataA float64, b workloads.App, dat
 	if !merged.seen {
 		return PairBest{}, fmt.Errorf("core: COLAO %s+%s: empty configuration space", a.Name, b.Name)
 	}
-	return PairBest{Cfg: pcs[merged.idx], Out: merged.out}, nil
+	specA.Cfg, specB.Cfg = pcs[merged.idx][0], pcs[merged.idx][1]
+	co, err := o.Model.Pair(specA, specB)
+	if err != nil {
+		return PairBest{}, fmt.Errorf("core: COLAO %s+%s: %w", a.Name, b.Name, err)
+	}
+	return PairBest{Cfg: pcs[merged.idx], Out: co}, nil
 }
 
 func unswap(b PairBest, swapped bool) PairBest {
@@ -218,4 +339,13 @@ func (o *Oracle) EvalPair(a workloads.App, dataA float64, b workloads.App, dataB
 }
 
 // CachedPairs reports how many COLAO searches have been memoized.
-func (o *Oracle) CachedPairs() int { return len(o.pair) }
+func (o *Oracle) CachedPairs() int {
+	n := 0
+	for i := range o.shards {
+		sh := &o.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pair)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"ecost/internal/mapreduce"
@@ -293,6 +295,9 @@ func (s *MLMSTP) model(a, b Observation) (ml.Regressor, error) {
 
 // PredictBest implements STP: argmin of the selected class-pair model
 // over every permutation of the tunable parameters (Figure 7, step 4).
+// The sweep runs over the precomputed design matrix in parallel chunks;
+// ties break by configuration index, so the chosen configuration is
+// bit-identical to a serial scan at any GOMAXPROCS.
 func (s *MLMSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
 	m, err := s.model(a, b)
 	if err != nil {
@@ -309,24 +314,103 @@ func (s *MLMSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
 		sa, sb = b, a
 	}
 	fa, fb := sa.Reduced(), sb.Reduced()
-	bestEDP := math.Inf(1)
-	var best [2]mapreduce.Config
-	found := false
-	for _, pc := range mapreduce.PairConfigsCached(s.db.Oracle().Model.Spec.Cores) {
-		pred := m.Predict(s.inputRow(fa, fb, ConfigRow(sa.SizeGB, sb.SizeGB, pc)))
-		if pred < bestEDP {
-			bestEDP = pred
-			best = pc
-			found = true
-		}
+	cores := s.db.Oracle().Model.Spec.Cores
+	rows := DesignMatrixCached(cores, sa.SizeGB, sb.SizeGB)
+	idx := s.argminRows(m, rows, fa, fb)
+	if idx < 0 {
+		return [2]mapreduce.Config{}, fmt.Errorf("core: %s: empty configuration space", s.name)
 	}
-	if !found {
-		return best, fmt.Errorf("core: %s: empty configuration space", s.name)
-	}
+	best := mapreduce.PairConfigsCached(cores)[idx]
 	if swapped {
 		best[0], best[1] = best[1], best[0]
 	}
 	return best, nil
+}
+
+// argminRows returns the index of the design-matrix row the regressor
+// scores lowest, ties broken by lowest index (the serial scan's
+// first-wins rule). Chunks fan out over GOMAXPROCS workers; each worker
+// reuses one input-row scratch buffer, so the sweep allocates nothing
+// per configuration.
+func (s *MLMSTP) argminRows(m ml.Regressor, rows [][]float64, fa, fb []float64) int {
+	if len(rows) == 0 {
+		return -1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows)/minRowsPerWorker {
+		workers = len(rows) / minRowsPerWorker
+	}
+	if workers <= 1 {
+		best, _ := s.argminChunk(m, rows, fa, fb, 0, len(rows))
+		return best
+	}
+	type localBest struct {
+		idx  int
+		pred float64
+	}
+	results := make([]localBest, workers)
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			results[w] = localBest{idx: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			idx, pred := s.argminChunk(m, rows, fa, fb, lo, hi)
+			results[w] = localBest{idx: idx, pred: pred}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := localBest{idx: -1, pred: math.Inf(1)}
+	for _, lb := range results {
+		if lb.idx < 0 {
+			continue
+		}
+		if best.idx < 0 || lb.pred < best.pred || (lb.pred == best.pred && lb.idx < best.idx) {
+			best = lb
+		}
+	}
+	return best.idx
+}
+
+// minRowsPerWorker keeps tiny sweeps serial: below this many rows per
+// worker the goroutine hand-off costs more than the scan.
+const minRowsPerWorker = 512
+
+// argminChunk scans rows[lo:hi] with one reused input buffer.
+func (s *MLMSTP) argminChunk(m ml.Regressor, rows [][]float64, fa, fb []float64, lo, hi int) (int, float64) {
+	bestIdx := -1
+	bestPred := math.Inf(1)
+	var x []float64
+	off := 0
+	if s.useFeatures {
+		x = make([]float64, len(fa)+len(fb)+len(rows[0]))
+		copy(x, fa)
+		copy(x[len(fa):], fb)
+		off = len(fa) + len(fb)
+	}
+	for i := lo; i < hi; i++ {
+		var in []float64
+		if s.useFeatures {
+			copy(x[off:], rows[i])
+			in = x
+		} else {
+			in = rows[i]
+		}
+		if pred := m.Predict(in); pred < bestPred {
+			bestPred = pred
+			bestIdx = i
+		}
+	}
+	return bestIdx, bestPred
 }
 
 // PredictSoloBest predicts the best standalone configuration for one

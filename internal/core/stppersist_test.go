@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMLMSTPRoundTrip checks SaveModels/LoadMLMSTP preserves the
+// trained technique: the loaded copy predicts identically (feature-
+// aware REPTree, the most structurally complex case) and re-serializes
+// to the same bytes.
+func TestMLMSTPRoundTrip(t *testing.T) {
+	fixture(t)
+	var buf bytes.Buffer
+	if err := fix.rep.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+	loaded, err := LoadMLMSTP(&buf, fix.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != fix.rep.Name() {
+		t.Fatalf("name = %q, want %q", loaded.Name(), fix.rep.Name())
+	}
+	if loaded.Models() != fix.rep.Models() {
+		t.Fatalf("models = %d, want %d", loaded.Models(), fix.rep.Models())
+	}
+	if loaded.TrainTime() != fix.rep.TrainTime() {
+		t.Fatalf("train time = %v, want %v", loaded.TrainTime(), fix.rep.TrainTime())
+	}
+	for _, pair := range [][2]string{{"wc", "st"}, {"gp", "wc"}, {"st", "st"}} {
+		oa := obsOf(t, pair[0], 1)
+		ob := obsOf(t, pair[1], 5)
+		want, werr := fix.rep.PredictBest(oa, ob)
+		got, gerr := loaded.PredictBest(oa, ob)
+		if (werr != nil) != (gerr != nil) {
+			t.Fatalf("%v: error mismatch: %v vs %v", pair, werr, gerr)
+		}
+		if want != got {
+			t.Fatalf("%v: loaded model predicts %v, want %v", pair, got, want)
+		}
+	}
+	var again bytes.Buffer
+	if err := loaded.SaveModels(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, again.Bytes()) {
+		t.Fatal("re-serialized bytes differ from original save")
+	}
+}

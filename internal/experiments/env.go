@@ -10,10 +10,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"ecost/internal/cluster"
 	"ecost/internal/core"
 	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
 	"ecost/internal/ml"
 	"ecost/internal/sim"
 	"ecost/internal/workloads"
@@ -35,6 +37,10 @@ type Env struct {
 
 	// Seed drives every stochastic element (measurement noise).
 	Seed int64
+
+	// opt remembers the (normalized) build options so EnsureRows can
+	// regenerate training matrices dropped by the artifact cache.
+	opt Options
 }
 
 // Options tunes the cost of building an Env.
@@ -48,6 +54,30 @@ type Options struct {
 	// training (defaults 150 and 6).
 	MLPEpochs    int
 	MLPRowStride int
+	// Workers sizes the database build's worker pool (0 = GOMAXPROCS;
+	// any count produces an identical database).
+	Workers int
+	// Metrics, when set, receives build observability: volatile
+	// wall-clock gauges for the database build and per-technique
+	// training times. It does not participate in the cache key.
+	Metrics *metrics.Registry
+}
+
+// withDefaults normalizes the zero values to the documented defaults.
+func (opt Options) withDefaults() Options {
+	if opt.Seed == 0 {
+		opt.Seed = 42
+	}
+	if opt.ConfigStride == 0 {
+		opt.ConfigStride = 5
+	}
+	if opt.MLPEpochs == 0 {
+		opt.MLPEpochs = 150
+	}
+	if opt.MLPRowStride == 0 {
+		opt.MLPRowStride = 6
+	}
+	return opt
 }
 
 // DefaultOptions returns the full-fidelity configuration used by
@@ -69,28 +99,20 @@ func FastOptions() Options {
 // NewEnv builds the shared setup: model, oracle, profiler, database,
 // classifiers and the four trained STP techniques.
 func NewEnv(opt Options) (*Env, error) {
-	if opt.Seed == 0 {
-		opt.Seed = 42
-	}
-	if opt.ConfigStride == 0 {
-		opt.ConfigStride = 5
-	}
-	if opt.MLPEpochs == 0 {
-		opt.MLPEpochs = 150
-	}
-	if opt.MLPRowStride == 0 {
-		opt.MLPRowStride = 6
-	}
+	opt = opt.withDefaults()
 	model := mapreduce.NewModel(cluster.AtomC2758())
 	oracle := core.NewOracle(model)
 	profiler := core.NewProfiler(model, sim.NewRNG(opt.Seed))
+	buildStart := time.Now()
 	db, err := core.BuildDatabase(profiler, oracle, workloads.Training(), core.BuildOptions{
 		Sizes:        workloads.DataSizesGB(),
 		ConfigStride: opt.ConfigStride,
+		Workers:      opt.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	opt.Metrics.VolatileGauge("env.db_build.wall_seconds").Set(time.Since(buildStart).Seconds())
 	env := &Env{
 		Model:    model,
 		Oracle:   oracle,
@@ -98,6 +120,7 @@ func NewEnv(opt Options) (*Env, error) {
 		DB:       db,
 		LkT:      &core.LkTSTP{DB: db},
 		Seed:     opt.Seed,
+		opt:      opt,
 	}
 	env.LR, err = core.NewMLMSTP("LR", db, func() ml.Regressor { return ml.NewLinearRegression() })
 	if err != nil {
@@ -137,7 +160,30 @@ func NewEnv(opt Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, s := range []*core.MLMSTP{env.LR, env.REPTree, env.MLP} {
+		opt.Metrics.VolatileGauge("env.train." + s.Name() + ".wall_seconds").Set(s.TrainTime().Seconds())
+	}
 	return env, nil
+}
+
+// EnsureRows makes sure the database's training matrices are populated.
+// A cache-loaded Env carries entries and trained models but no rows
+// (they are too large to persist at full stride); experiments that read
+// DB.Rows directly — the Table-1 training-accuracy sweep — call this
+// first. The rebuild is a pure sweep, so the rows match the original
+// build's bit for bit.
+func (e *Env) EnsureRows() error {
+	if e.DB.HasRows() {
+		return nil
+	}
+	start := time.Now()
+	err := e.DB.RebuildRows(core.BuildOptions{
+		Sizes:        workloads.DataSizesGB(),
+		ConfigStride: e.opt.ConfigStride,
+		Workers:      e.opt.Workers,
+	})
+	e.opt.Metrics.VolatileGauge("env.rows_rebuild.wall_seconds").Set(time.Since(start).Seconds())
+	return err
 }
 
 // STPs returns the four techniques in the paper's order.

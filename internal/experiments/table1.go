@@ -26,6 +26,10 @@ type Table1Data struct {
 // fitted and evaluated on the database rows of the known applications;
 // the generalization question is Table 2's.
 func Table1ModelAPE(env *Env) (Table, Table1Data, error) {
+	// A cache-loaded Env drops the raw training rows; regenerate them.
+	if err := env.EnsureRows(); err != nil {
+		return Table{}, Table1Data{}, err
+	}
 	data := Table1Data{
 		APE:     map[core.ClassPair]map[string]float64{},
 		Average: map[string]float64{},

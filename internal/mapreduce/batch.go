@@ -1,0 +1,474 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"ecost/internal/hdfs"
+	"ecost/internal/power"
+)
+
+// This file is the allocation-free core of the execution model. The
+// public entry points (CoLocate, Solo, Pair) are thin wrappers that
+// allocate a fresh scratch per call; the batched hot paths — the COLAO
+// brute-force search and the MLM-STP argmin sweeps, which evaluate the
+// same application pair at thousands of configurations — hold an
+// Evaluator so the contention solver's working buffers are allocated
+// once and reused across the whole sweep.
+//
+// Every routine here computes the exact floating-point sequence of the
+// original serial implementation: buffer reuse changes where
+// intermediate values live, never what they are, so batched results are
+// bit-identical to CoLocate's.
+
+// ioPhase is one MapReduce phase's per-task demand: CPU seconds and
+// disk traffic.
+type ioPhase struct{ cpu, ioMB float64 }
+
+// evalScratch holds the contention solver's working buffers, sized for
+// the largest co-located set seen so far.
+type evalScratch struct {
+	n        int // current capacity (co-located set size)
+	steadies []steady
+	mpki     []float64
+	rate     []float64
+	splitMB  []float64
+	cpi      []float64
+	rem      []float64
+	mapPh    []ioPhase
+	redPh    []ioPhase
+	splits   []int
+	sub      []RunSpec
+	idx      []int
+	active   []bool
+	subActv  []bool
+	loads    []power.CoreLoad
+}
+
+func (s *evalScratch) ensure(n int) {
+	if n <= s.n {
+		return
+	}
+	s.n = n
+	s.steadies = make([]steady, n)
+	s.mpki = make([]float64, n)
+	s.rate = make([]float64, n)
+	s.splitMB = make([]float64, n)
+	s.cpi = make([]float64, n)
+	s.rem = make([]float64, n)
+	s.mapPh = make([]ioPhase, n)
+	s.redPh = make([]ioPhase, n)
+	s.splits = make([]int, n)
+	s.sub = make([]RunSpec, 0, n)
+	s.idx = make([]int, 0, n)
+	s.active = make([]bool, n)
+	s.subActv = make([]bool, n)
+	s.loads = make([]power.CoreLoad, 0, n)
+}
+
+// taskTime is the per-task duration of one phase given the app's burst
+// bandwidth: the I/O hides under compute up to OverlapFrac.
+func (m *Model) taskTime(mappers float64, ph ioPhase, burstBW float64) (t, tio float64) {
+	tio = mappers * ph.ioMB / burstBW // m concurrent tasks share the app's burst bandwidth
+	t = math.Max(ph.cpu, tio) + (1-m.OverlapFrac)*math.Min(ph.cpu, tio) + m.TaskStartupSec
+	return t, tio
+}
+
+// evaluateInto is evaluate with caller-owned buffers; the returned slice
+// aliases s.steadies and is valid until the next call with the same
+// scratch.
+func (m *Model) evaluateInto(specs []RunSpec, s *evalScratch) []steady {
+	n := len(specs)
+	s.ensure(n)
+	out := s.steadies[:n]
+	if n == 0 {
+		return out
+	}
+	// Interleaving distinct jobs' bursty streams costs seeks.
+	bw := m.Spec.DiskBWMBps / (1 + m.SeekPenalty*float64((n-1)*(n-1)))
+
+	// Memory pressure is set-wide: per-job fixed overhead plus mappers'
+	// buffers and working sets.
+	var memTotal float64
+	for _, sp := range specs {
+		perTask := m.BufFracOfBlock*float64(sp.Cfg.Block) + sp.App.Profile.MemFootprintMBPerTask
+		memTotal += m.JobMemMB + float64(sp.Cfg.Mappers)*perTask
+	}
+	memCap := m.MemCapFrac * m.Spec.MemGB * 1024
+	thrash := 0.0
+	if memTotal > memCap {
+		thrash = m.ThrashK * (memTotal/memCap - 1)
+	}
+
+	// Memory-bandwidth pressure scales the LLC miss latency (queueing).
+	var bwDemand float64
+	for _, sp := range specs {
+		bwDemand += float64(sp.Cfg.Mappers) * sp.App.Profile.MemBWPerCoreGBps
+	}
+	bwScale := 1.0
+	if m.Spec.MemBWGBps > 0 && bwDemand > m.Spec.MemBWGBps {
+		bwScale = bwDemand / m.Spec.MemBWGBps
+	}
+
+	// Co-runner LLC pressure inflates each app's MPKI (saturating). The
+	// pressure is app-level rather than per-mapper: a job's tasks share
+	// most of their working set (dictionaries, model state), so adding
+	// mappers of the same job barely grows its LLC footprint.
+	mpki := s.mpki[:n]
+	for i, sp := range specs {
+		var otherFP float64
+		for j, o := range specs {
+			if j != i {
+				otherFP += o.App.Profile.CacheFootprintMB
+			}
+		}
+		infl := 1 + m.LLCBeta*otherFP/(otherFP+m.LLCMB)
+		mpki[i] = sp.App.Profile.LLCMPKI * infl
+	}
+
+	// Damped fixed point on achieved disk rates.
+	rate := s.rate[:n] // achieved MB/s per app
+	mapPh := s.mapPh[:n]
+	redPh := s.redPh[:n]
+	splitMB := s.splitMB[:n]
+	splits := s.splits[:n]
+	cpi := s.cpi[:n]
+	for i := range rate {
+		rate[i] = 0
+	}
+	for i, sp := range specs {
+		p := sp.App.Profile
+		f := float64(sp.Cfg.Freq)
+		cpi[i] = 1/p.BaseIPC + mpki[i]/1000*m.MemLatencyNs*f*bwScale
+		splits[i] = hdfs.Splits(sp.DataMB, sp.Cfg.Block)
+		if splits[i] == 0 {
+			continue
+		}
+		splitMB[i] = sp.DataMB / float64(splits[i])
+		mapPh[i] = ioPhase{
+			cpu:  p.MapInstrPerByte * splitMB[i] * 1e6 * cpi[i] / (f * 1e9),
+			ioMB: splitMB[i] * (1 + p.SpillFactor) * (1 + thrash),
+		}
+		interMB := sp.DataMB * p.ShuffleSel
+		outMB := sp.DataMB * p.OutputSel
+		r := float64(sp.Cfg.Mappers) // reducers = mapper slots
+		redPh[i] = ioPhase{
+			cpu:  p.ReduceInstrPerByte * interMB / r * 1e6 * cpi[i] / (f * 1e9),
+			ioMB: (interMB + outMB) / r * (1 + thrash),
+		}
+	}
+
+	for iter := 0; iter < 8; iter++ {
+		var sumRates float64
+		for _, r := range rate {
+			sumRates += r
+		}
+		for i, sp := range specs {
+			if splits[i] == 0 {
+				continue
+			}
+			duty := sp.App.Profile.DiskDutyCap
+			avail := bw - (sumRates - rate[i])
+			if avail < 0.1*bw {
+				avail = 0.1 * bw
+			}
+			burst := duty * bw
+			if burst > avail {
+				burst = avail
+			}
+			tMap, _ := m.taskTime(float64(sp.Cfg.Mappers), mapPh[i], burst)
+			tRed, _ := m.taskTime(float64(sp.Cfg.Mappers), redPh[i], burst)
+			waves := (splits[i] + sp.Cfg.Mappers - 1) / sp.Cfg.Mappers
+			mapTime := float64(waves) * tMap
+			total := mapTime + tRed
+			mi := float64(sp.Cfg.Mappers)
+			newRate := (float64(splits[i])*mapPh[i].ioMB + mi*redPh[i].ioMB) / total
+			rate[i] = 0.5*rate[i] + 0.5*newRate
+		}
+	}
+
+	var sumRates float64
+	for _, r := range rate {
+		sumRates += r
+	}
+
+	for i, sp := range specs {
+		if splits[i] == 0 {
+			out[i] = steady{T: m.JobOverheadSec}
+			continue
+		}
+		p := sp.App.Profile
+		duty := p.DiskDutyCap
+		avail := bw - (sumRates - rate[i])
+		if avail < 0.1*bw {
+			avail = 0.1 * bw
+		}
+		burst := duty * bw
+		if burst > avail {
+			burst = avail
+		}
+		tMap, tioMap := m.taskTime(float64(sp.Cfg.Mappers), mapPh[i], burst)
+		tRed, tioRed := m.taskTime(float64(sp.Cfg.Mappers), redPh[i], burst)
+		waves := (splits[i] + sp.Cfg.Mappers - 1) / sp.Cfg.Mappers
+		mapTime := float64(waves) * tMap
+		T := m.JobOverheadSec + mapTime + tRed
+
+		// Busy fraction of the app's cores, time-weighted over phases.
+		uMap := mapPh[i].cpu / tMap
+		uRed := redPh[i].cpu / tRed
+		util := (uMap*mapTime + uRed*tRed) / (mapTime + tRed)
+		wMap := math.Max(0, tioMap-m.OverlapFrac*mapPh[i].cpu) / tMap
+		wRed := math.Max(0, tioRed-m.OverlapFrac*redPh[i].cpu) / tRed
+		iowait := (wMap*mapTime + wRed*tRed) / (mapTime + tRed)
+
+		interMB := sp.DataMB * p.ShuffleSel
+		outMB := sp.DataMB * p.OutputSel
+		out[i] = steady{
+			T:          T,
+			mapTime:    mapTime,
+			redTime:    tRed,
+			util:       clamp01(util),
+			iowait:     clamp01(iowait),
+			readMB:     sp.DataMB + interMB,
+			writeMB:    sp.DataMB*p.SpillFactor + interMB + outMB,
+			ipc:        1 / cpi[i],
+			mpki:       mpki[i],
+			memMB:      float64(sp.Cfg.Mappers) * (m.BufFracOfBlock*float64(sp.Cfg.Block) + p.MemFootprintMBPerTask),
+			ioRateMBps: rate[i],
+			splits:     splits[i],
+			waves:      waves,
+		}
+	}
+	return out
+}
+
+// activityInto is activity with a caller-owned loads buffer.
+func (m *Model) activityInto(specs []RunSpec, sts []steady, active []bool, s *evalScratch) power.Activity {
+	act := power.Activity{Loads: s.loads[:0]}
+	var io, membw float64
+	for i, sp := range specs {
+		if !active[i] {
+			continue
+		}
+		act.Loads = append(act.Loads, power.CoreLoad{
+			Cores: sp.Cfg.Mappers,
+			Freq:  sp.Cfg.Freq,
+			Util:  sts[i].util,
+		})
+		io += sts[i].ioRateMBps
+		membw += float64(sp.Cfg.Mappers) * sp.App.Profile.MemBWPerCoreGBps * sts[i].util
+	}
+	act.DiskBusy = io / m.Spec.DiskBWMBps
+	act.MemBWGB = membw
+	return act
+}
+
+// coLocateInto is CoLocate with caller-owned buffers. apps, when
+// non-nil, must have len(specs) elements and receives the per-app
+// outcomes; a nil apps skips the initial-contention evaluation and the
+// per-app bookkeeping entirely (the node-level energy/makespan math is
+// unaffected — the epoch loop is the only thing that feeds it).
+func (m *Model) coLocateInto(specs []RunSpec, s *evalScratch, apps []Outcome) (CoOutcome, error) {
+	if len(specs) == 0 {
+		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: no applications")
+	}
+	total := 0
+	for _, sp := range specs {
+		if err := sp.Cfg.Validate(m.Spec.Cores); err != nil {
+			return CoOutcome{}, err
+		}
+		if sp.DataMB < 0 {
+			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate %s: negative data size", sp.App.Name)
+		}
+		total += sp.Cfg.Mappers
+	}
+	if total > m.Spec.Cores {
+		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: %d mappers exceed %d cores", total, m.Spec.Cores)
+	}
+
+	n := len(specs)
+	s.ensure(n)
+	co := CoOutcome{Apps: apps}
+	active := s.active[:n]
+	rem := s.rem[:n]
+	for i := range specs {
+		active[i] = true
+		rem[i] = 1
+	}
+	if apps != nil {
+		first := m.evaluateInto(specs, s)
+		for i, st := range first {
+			apps[i] = Outcome{
+				MapTime:    st.mapTime,
+				ReduceTime: st.redTime,
+				CPUUtil:    st.util,
+				IOWaitFrac: st.iowait,
+				ReadMB:     st.readMB,
+				WrittenMB:  st.writeMB,
+				EffIPC:     st.ipc,
+				EffLLCMPKI: st.mpki,
+				MemMB:      st.memMB,
+				Waves:      st.waves,
+				Splits:     st.splits,
+			}
+		}
+	}
+
+	now := 0.0
+	remaining := n
+	for remaining > 0 {
+		sub := s.sub[:0]
+		idx := s.idx[:0]
+		for i, a := range active {
+			if a {
+				sub = append(sub, specs[i])
+				idx = append(idx, i)
+			}
+		}
+		sts := m.evaluateInto(sub, s)
+		// Epoch ends when the first active app finishes.
+		dt := math.Inf(1)
+		for k, i := range idx {
+			if t := rem[i] * sts[k].T; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: non-finite epoch")
+		}
+		subActive := s.subActv[:len(sub)]
+		for k := range sub {
+			subActive[k] = true
+		}
+		watts := power.NodePower(m.Spec, m.activityInto(sub, sts, subActive, s))
+		co.EnergyJ += watts * dt
+		now += dt
+		for k, i := range idx {
+			rem[i] -= dt / sts[k].T
+			if rem[i] <= 1e-9 {
+				rem[i] = 0
+				active[i] = false
+				if apps != nil {
+					apps[i].Time = now
+				}
+				remaining--
+			}
+		}
+	}
+	co.Makespan = now
+	if m.Noise > 0 && m.rng != nil {
+		co.Makespan = m.rng.Jitter(co.Makespan, m.Noise)
+		co.EnergyJ = m.rng.Jitter(co.EnergyJ, m.Noise)
+		for i := range co.Apps {
+			co.Apps[i].Time = m.rng.Jitter(co.Apps[i].Time, m.Noise)
+		}
+	}
+	if co.Makespan > 0 {
+		co.AvgPower = co.EnergyJ / co.Makespan
+	}
+	co.EDP = power.EDP(co.EnergyJ, co.Makespan)
+	return co, nil
+}
+
+// CoMetrics is the node-level scalar outcome of a co-located run — what
+// the brute-force searches and training-row sweeps actually consume.
+type CoMetrics struct {
+	Makespan float64
+	EnergyJ  float64
+	AvgPower float64
+	EDP      float64
+}
+
+// Metrics projects a full outcome onto its node-level scalars.
+func (co CoOutcome) Metrics() CoMetrics {
+	return CoMetrics{Makespan: co.Makespan, EnergyJ: co.EnergyJ, AvgPower: co.AvgPower, EDP: co.EDP}
+}
+
+// Evaluator amortizes the contention solver's allocations across
+// repeated evaluations of (usually) the same application pair at many
+// configurations. It is NOT goroutine-safe: concurrent sweeps hold one
+// Evaluator per worker.
+type Evaluator struct {
+	m     *Model
+	s     evalScratch
+	specs [2]RunSpec
+	apps  []Outcome // reused only for the noisy-model fallback
+}
+
+// NewEvaluator returns a reusable evaluator over the model. The
+// evaluator reads the model's knobs on every call, so knob changes
+// between calls behave exactly as they do with CoLocate.
+func (m *Model) NewEvaluator() *Evaluator { return &Evaluator{m: m} }
+
+// Pair is Model.Pair with buffer reuse; the returned outcome's Apps
+// slice is freshly allocated and safe to retain.
+func (e *Evaluator) Pair(a, b RunSpec) (CoOutcome, error) {
+	e.specs[0], e.specs[1] = a, b
+	return e.m.coLocateInto(e.specs[:], &e.s, make([]Outcome, 2))
+}
+
+// PairMetrics evaluates a pair and returns only the node-level scalars,
+// allocation-free after warm-up. The result is bit-identical to
+// Model.Pair(a, b).Metrics().
+func (e *Evaluator) PairMetrics(a, b RunSpec) (CoMetrics, error) {
+	e.specs[0], e.specs[1] = a, b
+	var apps []Outcome
+	if e.m.Noise > 0 {
+		// The noisy model draws jitter for per-app times too; keep the
+		// RNG stream identical to the full path.
+		if cap(e.apps) < 2 {
+			e.apps = make([]Outcome, 2)
+		}
+		apps = e.apps[:2]
+	}
+	co, err := e.m.coLocateInto(e.specs[:], &e.s, apps)
+	if err != nil {
+		return CoMetrics{}, err
+	}
+	return co.Metrics(), nil
+}
+
+// Solo is Model.Solo's co-outcome with buffer reuse; the returned
+// outcome's Apps slice is freshly allocated and safe to retain.
+func (e *Evaluator) Solo(spec RunSpec) (CoOutcome, error) {
+	e.specs[0] = spec
+	return e.m.coLocateInto(e.specs[:1], &e.s, make([]Outcome, 1))
+}
+
+// SoloMetrics evaluates one application alone and returns only the
+// node-level scalars, allocation-free after warm-up.
+func (e *Evaluator) SoloMetrics(spec RunSpec) (CoMetrics, error) {
+	e.specs[0] = spec
+	var apps []Outcome
+	if e.m.Noise > 0 {
+		if cap(e.apps) < 1 {
+			e.apps = make([]Outcome, 2)
+		}
+		apps = e.apps[:1]
+	}
+	co, err := e.m.coLocateInto(e.specs[:1], &e.s, apps)
+	if err != nil {
+		return CoMetrics{}, err
+	}
+	return co.Metrics(), nil
+}
+
+// PairBatch evaluates the same two applications at every joint
+// configuration in cfgs, overwriting each spec's Cfg in turn; out must
+// have len(cfgs) elements. This is the inner loop of the COLAO search
+// and the database's training-row sweep: zero allocations per
+// configuration after the first call.
+func (e *Evaluator) PairBatch(a, b RunSpec, cfgs [][2]Config, out []CoMetrics) error {
+	if len(out) != len(cfgs) {
+		return fmt.Errorf("mapreduce: pair batch: %d outputs for %d configs", len(out), len(cfgs))
+	}
+	for i := range cfgs {
+		a.Cfg, b.Cfg = cfgs[i][0], cfgs[i][1]
+		cm, err := e.PairMetrics(a, b)
+		if err != nil {
+			return err
+		}
+		out[i] = cm
+	}
+	return nil
+}

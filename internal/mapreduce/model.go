@@ -2,10 +2,8 @@ package mapreduce
 
 import (
 	"fmt"
-	"math"
 
 	"ecost/internal/cluster"
-	"ecost/internal/hdfs"
 	"ecost/internal/metrics"
 	"ecost/internal/perfctr"
 	"ecost/internal/power"
@@ -180,172 +178,13 @@ type steady struct {
 // fixed-point iteration on the per-app achieved I/O rates, with each
 // app's burst bandwidth capped by its disk duty cycle and the bandwidth
 // left by its co-runners (bursts interleave; see workloads.Profile).
+// The returned slice is freshly allocated; hot paths use evaluateInto
+// (see batch.go) with a reused scratch instead.
 func (m *Model) evaluate(specs []RunSpec) []steady {
-	n := len(specs)
-	out := make([]steady, n)
-	if n == 0 {
-		return out
-	}
-	// Interleaving distinct jobs' bursty streams costs seeks.
-	bw := m.Spec.DiskBWMBps / (1 + m.SeekPenalty*float64((n-1)*(n-1)))
-
-	// Memory pressure is set-wide: per-job fixed overhead plus mappers'
-	// buffers and working sets.
-	var memTotal float64
-	for _, s := range specs {
-		perTask := m.BufFracOfBlock*float64(s.Cfg.Block) + s.App.Profile.MemFootprintMBPerTask
-		memTotal += m.JobMemMB + float64(s.Cfg.Mappers)*perTask
-	}
-	memCap := m.MemCapFrac * m.Spec.MemGB * 1024
-	thrash := 0.0
-	if memTotal > memCap {
-		thrash = m.ThrashK * (memTotal/memCap - 1)
-	}
-
-	// Memory-bandwidth pressure scales the LLC miss latency (queueing).
-	var bwDemand float64
-	for _, s := range specs {
-		bwDemand += float64(s.Cfg.Mappers) * s.App.Profile.MemBWPerCoreGBps
-	}
-	bwScale := 1.0
-	if m.Spec.MemBWGBps > 0 && bwDemand > m.Spec.MemBWGBps {
-		bwScale = bwDemand / m.Spec.MemBWGBps
-	}
-
-	// Co-runner LLC pressure inflates each app's MPKI (saturating). The
-	// pressure is app-level rather than per-mapper: a job's tasks share
-	// most of their working set (dictionaries, model state), so adding
-	// mappers of the same job barely grows its LLC footprint.
-	mpki := make([]float64, n)
-	for i, s := range specs {
-		var otherFP float64
-		for j, o := range specs {
-			if j != i {
-				otherFP += o.App.Profile.CacheFootprintMB
-			}
-		}
-		infl := 1 + m.LLCBeta*otherFP/(otherFP+m.LLCMB)
-		mpki[i] = s.App.Profile.LLCMPKI * infl
-	}
-
-	// Damped fixed point on achieved disk rates.
-	rate := make([]float64, n) // achieved MB/s per app
-	type phase struct{ cpu, ioMB float64 }
-	mapPh := make([]phase, n)
-	redPh := make([]phase, n)
-	splitMB := make([]float64, n)
-	splits := make([]int, n)
-	cpi := make([]float64, n)
-	for i, s := range specs {
-		p := s.App.Profile
-		f := float64(s.Cfg.Freq)
-		cpi[i] = 1/p.BaseIPC + mpki[i]/1000*m.MemLatencyNs*f*bwScale
-		splits[i] = hdfs.Splits(s.DataMB, s.Cfg.Block)
-		if splits[i] == 0 {
-			continue
-		}
-		splitMB[i] = s.DataMB / float64(splits[i])
-		mapPh[i] = phase{
-			cpu:  p.MapInstrPerByte * splitMB[i] * 1e6 * cpi[i] / (f * 1e9),
-			ioMB: splitMB[i] * (1 + p.SpillFactor) * (1 + thrash),
-		}
-		interMB := s.DataMB * p.ShuffleSel
-		outMB := s.DataMB * p.OutputSel
-		r := float64(s.Cfg.Mappers) // reducers = mapper slots
-		redPh[i] = phase{
-			cpu:  p.ReduceInstrPerByte * interMB / r * 1e6 * cpi[i] / (f * 1e9),
-			ioMB: (interMB + outMB) / r * (1 + thrash),
-		}
-	}
-
-	taskTime := func(i int, ph phase, burstBW float64) (t, tio float64) {
-		mi := float64(specs[i].Cfg.Mappers)
-		tio = mi * ph.ioMB / burstBW // m concurrent tasks share the app's burst bandwidth
-		t = math.Max(ph.cpu, tio) + (1-m.OverlapFrac)*math.Min(ph.cpu, tio) + m.TaskStartupSec
-		return t, tio
-	}
-
-	for iter := 0; iter < 8; iter++ {
-		var sumRates float64
-		for _, r := range rate {
-			sumRates += r
-		}
-		for i, s := range specs {
-			if splits[i] == 0 {
-				continue
-			}
-			duty := s.App.Profile.DiskDutyCap
-			avail := bw - (sumRates - rate[i])
-			if avail < 0.1*bw {
-				avail = 0.1 * bw
-			}
-			burst := duty * bw
-			if burst > avail {
-				burst = avail
-			}
-			tMap, _ := taskTime(i, mapPh[i], burst)
-			tRed, _ := taskTime(i, redPh[i], burst)
-			waves := (splits[i] + s.Cfg.Mappers - 1) / s.Cfg.Mappers
-			mapTime := float64(waves) * tMap
-			total := mapTime + tRed
-			mi := float64(s.Cfg.Mappers)
-			newRate := (float64(splits[i])*mapPh[i].ioMB + mi*redPh[i].ioMB) / total
-			rate[i] = 0.5*rate[i] + 0.5*newRate
-		}
-	}
-
-	var sumRates float64
-	for _, r := range rate {
-		sumRates += r
-	}
-
-	for i, s := range specs {
-		if splits[i] == 0 {
-			out[i] = steady{T: m.JobOverheadSec}
-			continue
-		}
-		p := s.App.Profile
-		duty := p.DiskDutyCap
-		avail := bw - (sumRates - rate[i])
-		if avail < 0.1*bw {
-			avail = 0.1 * bw
-		}
-		burst := duty * bw
-		if burst > avail {
-			burst = avail
-		}
-		tMap, tioMap := taskTime(i, mapPh[i], burst)
-		tRed, tioRed := taskTime(i, redPh[i], burst)
-		waves := (splits[i] + s.Cfg.Mappers - 1) / s.Cfg.Mappers
-		mapTime := float64(waves) * tMap
-		T := m.JobOverheadSec + mapTime + tRed
-
-		// Busy fraction of the app's cores, time-weighted over phases.
-		uMap := mapPh[i].cpu / tMap
-		uRed := redPh[i].cpu / tRed
-		util := (uMap*mapTime + uRed*tRed) / (mapTime + tRed)
-		wMap := math.Max(0, tioMap-m.OverlapFrac*mapPh[i].cpu) / tMap
-		wRed := math.Max(0, tioRed-m.OverlapFrac*redPh[i].cpu) / tRed
-		iowait := (wMap*mapTime + wRed*tRed) / (mapTime + tRed)
-
-		interMB := s.DataMB * p.ShuffleSel
-		outMB := s.DataMB * p.OutputSel
-		out[i] = steady{
-			T:          T,
-			mapTime:    mapTime,
-			redTime:    tRed,
-			util:       clamp01(util),
-			iowait:     clamp01(iowait),
-			readMB:     s.DataMB + interMB,
-			writeMB:    s.DataMB*p.SpillFactor + interMB + outMB,
-			ipc:        1 / cpi[i],
-			mpki:       mpki[i],
-			memMB:      float64(s.Cfg.Mappers) * (m.BufFracOfBlock*float64(s.Cfg.Block) + p.MemFootprintMBPerTask),
-			ioRateMBps: rate[i],
-			splits:     splits[i],
-			waves:      waves,
-		}
-	}
+	var s evalScratch
+	sts := m.evaluateInto(specs, &s)
+	out := make([]steady, len(sts))
+	copy(out, sts)
 	return out
 }
 
@@ -377,100 +216,8 @@ func (m *Model) activity(specs []RunSpec, sts []steady, active []bool) power.Act
 // model handles this with a fluid epoch simulation over the steady
 // states of each remaining active set.
 func (m *Model) CoLocate(specs []RunSpec) (CoOutcome, error) {
-	if len(specs) == 0 {
-		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: no applications")
-	}
-	total := 0
-	for _, s := range specs {
-		if err := s.Cfg.Validate(m.Spec.Cores); err != nil {
-			return CoOutcome{}, err
-		}
-		if s.DataMB < 0 {
-			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate %s: negative data size", s.App.Name)
-		}
-		total += s.Cfg.Mappers
-	}
-	if total > m.Spec.Cores {
-		return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: %d mappers exceed %d cores", total, m.Spec.Cores)
-	}
-
-	n := len(specs)
-	co := CoOutcome{Apps: make([]Outcome, n)}
-	active := make([]bool, n)
-	rem := make([]float64, n)
-	for i := range specs {
-		active[i] = true
-		rem[i] = 1
-	}
-	first := m.evaluate(specs)
-	for i, st := range first {
-		co.Apps[i] = Outcome{
-			MapTime:    st.mapTime,
-			ReduceTime: st.redTime,
-			CPUUtil:    st.util,
-			IOWaitFrac: st.iowait,
-			ReadMB:     st.readMB,
-			WrittenMB:  st.writeMB,
-			EffIPC:     st.ipc,
-			EffLLCMPKI: st.mpki,
-			MemMB:      st.memMB,
-			Waves:      st.waves,
-			Splits:     st.splits,
-		}
-	}
-
-	now := 0.0
-	remaining := n
-	for remaining > 0 {
-		sub := make([]RunSpec, 0, remaining)
-		idx := make([]int, 0, remaining)
-		for i, a := range active {
-			if a {
-				sub = append(sub, specs[i])
-				idx = append(idx, i)
-			}
-		}
-		sts := m.evaluate(sub)
-		// Epoch ends when the first active app finishes.
-		dt := math.Inf(1)
-		for k, i := range idx {
-			if t := rem[i] * sts[k].T; t < dt {
-				dt = t
-			}
-		}
-		if math.IsInf(dt, 1) || dt < 0 {
-			return CoOutcome{}, fmt.Errorf("mapreduce: co-locate: non-finite epoch")
-		}
-		subActive := make([]bool, len(sub))
-		for k := range sub {
-			subActive[k] = true
-		}
-		watts := power.NodePower(m.Spec, m.activity(sub, sts, subActive))
-		co.EnergyJ += watts * dt
-		now += dt
-		for k, i := range idx {
-			rem[i] -= dt / sts[k].T
-			if rem[i] <= 1e-9 {
-				rem[i] = 0
-				active[i] = false
-				co.Apps[i].Time = now
-				remaining--
-			}
-		}
-	}
-	co.Makespan = now
-	if m.Noise > 0 && m.rng != nil {
-		co.Makespan = m.rng.Jitter(co.Makespan, m.Noise)
-		co.EnergyJ = m.rng.Jitter(co.EnergyJ, m.Noise)
-		for i := range co.Apps {
-			co.Apps[i].Time = m.rng.Jitter(co.Apps[i].Time, m.Noise)
-		}
-	}
-	if co.Makespan > 0 {
-		co.AvgPower = co.EnergyJ / co.Makespan
-	}
-	co.EDP = power.EDP(co.EnergyJ, co.Makespan)
-	return co, nil
+	var s evalScratch
+	return m.coLocateInto(specs, &s, make([]Outcome, len(specs)))
 }
 
 // Solo predicts a single application running alone on the node.

@@ -94,7 +94,10 @@ func (f *atomicFloat) max(v float64) {
 }
 
 // Gauge is an instantaneous value (queue depth, accumulated joules).
-type Gauge struct{ v atomicFloat }
+type Gauge struct {
+	v       atomicFloat
+	volatil bool // wall-clock instrument: excluded from deterministic snapshots
+}
 
 // Set stores the value.
 func (g *Gauge) Set(v float64) {
@@ -117,6 +120,9 @@ func (g *Gauge) Value() float64 {
 	}
 	return g.v.load()
 }
+
+// Volatile reports whether the gauge carries wall-clock readings.
+func (g *Gauge) Volatile() bool { return g != nil && g.volatil }
 
 // Histogram is a fixed-bucket histogram: observations land in the first
 // bucket whose upper bound is ≥ the value, with an implicit +Inf
@@ -318,6 +324,16 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.gauge(name, false)
+}
+
+// VolatileGauge is Gauge for wall-clock measurements (build and train
+// durations): the instrument is excluded from deterministic snapshots.
+func (r *Registry) VolatileGauge(name string) *Gauge {
+	return r.gauge(name, true)
+}
+
+func (r *Registry) gauge(name string, volatil bool) *Gauge {
 	if r == nil {
 		return nil
 	}
@@ -325,7 +341,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{volatil: volatil}
 		r.gauges[name] = g
 	}
 	return g

@@ -243,3 +243,44 @@ func BenchmarkEnabledCounter(b *testing.B) {
 		c.Inc()
 	}
 }
+
+func TestVolatileGaugeExcludedFromSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("stable").Set(1)
+	r.VolatileGauge("wall").Set(123.4)
+	snap := r.Snapshot(false)
+	for _, g := range snap.Gauges {
+		if g.Name == "wall" {
+			t.Fatal("volatile gauge leaked into deterministic snapshot")
+		}
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Name != "stable" {
+		t.Fatalf("deterministic gauges = %+v, want just stable", snap.Gauges)
+	}
+	full := r.Snapshot(true)
+	found := false
+	for _, g := range full.Gauges {
+		if g.Name == "wall" {
+			found = true
+			if !g.Volatile {
+				t.Fatal("wall gauge snapshot not marked volatile")
+			}
+			if g.Value != 123.4 {
+				t.Fatalf("wall gauge = %v, want 123.4", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("volatile gauge missing from includeVolatile snapshot")
+	}
+	var buf bytes.Buffer
+	if err := full.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(volatile)")) {
+		t.Fatal("text exposition does not tag the volatile gauge")
+	}
+	if r.VolatileGauge("wall") != r.Gauge("wall") {
+		t.Fatal("volatile gauge lookup returned a different instrument")
+	}
+}

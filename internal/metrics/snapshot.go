@@ -29,8 +29,9 @@ type CounterSnap struct {
 
 // GaugeSnap is one gauge's reading.
 type GaugeSnap struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
+	Name     string  `json:"name"`
+	Value    float64 `json:"value"`
+	Volatile bool    `json:"volatile,omitempty"`
 }
 
 // HistSnap summarizes one histogram.
@@ -86,7 +87,10 @@ func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
 	}
 	for name, g := range gauges {
-		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+		if g.Volatile() && !includeVolatile {
+			continue
+		}
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value(), Volatile: g.Volatile()})
 	}
 	for name, h := range hists {
 		if h.Volatile() && !includeVolatile {
@@ -139,7 +143,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if len(s.Gauges) > 0 {
 		fmt.Fprintln(w, "gauges:")
 		for _, g := range s.Gauges {
-			fmt.Fprintf(w, "  %-32s %s\n", g.Name, fmtF(g.Value))
+			tag := ""
+			if g.Volatile {
+				tag = " (volatile)"
+			}
+			fmt.Fprintf(w, "  %-32s %s%s\n", g.Name, fmtF(g.Value), tag)
 		}
 	}
 	if len(s.Histograms) > 0 {
