@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,29 +27,47 @@ import (
 	"strings"
 	"time"
 
+	"ecost/internal/cliutil"
 	"ecost/internal/experiments"
 	"ecost/internal/trace"
 )
 
+// experimentNames is the closed set -exp accepts.
+var experimentNames = []string{
+	"all", "fig1", "fig2", "fig3", "fig5", "table1", "table2", "table3",
+	"fig8", "fig9", "ablations", "online",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig1, fig2, fig3, fig5, table1, table2, table3, fig8, fig9, ablations, online")
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(experimentNames, ", "))
 	fast := flag.Bool("fast", false, "use the fast (coarse) environment")
 	nodesFlag := flag.String("nodes", "1,2,4,8", "cluster sizes for fig9")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	cacheDir := flag.String("cache", "", "cache the built environment (database + models) under this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
+
+	if err := cliutil.SetupLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-bench:", err)
+		os.Exit(cliutil.ExitUsage)
+	}
+	known := false
+	for _, name := range experimentNames {
+		known = known || name == *exp
+	}
+	if !known {
+		cliutil.Usagef("unknown -exp", "exp", *exp, "want", strings.Join(experimentNames, ", "))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("creating -cpuprofile failed", "err", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("starting CPU profile failed", "err", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -59,21 +78,20 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+				slog.Error("creating -memprofile failed", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
+				slog.Error("writing heap profile failed", "err", err)
 			}
 		}()
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("creating -csv directory failed", "err", err)
 		}
 	}
 
@@ -81,8 +99,7 @@ func main() {
 	for _, part := range strings.Split(*nodesFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "ecost-bench: bad -nodes entry %q\n", part)
-			os.Exit(2)
+			cliutil.Usagef("bad -nodes entry", "entry", part)
 		}
 		nodes = append(nodes, n)
 	}
@@ -109,21 +126,20 @@ func main() {
 		env, hit, err = experiments.LoadOrBuildEnv(opt, *cacheDir)
 		if err == nil {
 			if hit {
-				fmt.Fprintf(os.Stderr, "environment loaded from cache in %v\n\n", time.Since(start).Round(time.Millisecond))
+				slog.Info("environment loaded from cache", "took", time.Since(start).Round(time.Millisecond))
 			} else {
-				fmt.Fprintf(os.Stderr, "environment built and cached in %v\n\n", time.Since(start).Round(time.Millisecond))
+				slog.Info("environment built and cached", "took", time.Since(start).Round(time.Millisecond))
 			}
 		}
 	} else {
-		fmt.Fprintf(os.Stderr, "building environment (database + models)...\n")
+		slog.Info("building environment (database + models)")
 		env, err = experiments.NewEnv(opt)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+			slog.Info("environment ready", "took", time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatalf("building environment failed", "err", err)
 	}
 
 	writeCSV := func(name string, tbl experiments.Table) {
@@ -132,16 +148,13 @@ func main() {
 		}
 		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("creating CSV failed", "artifact", name, "err", err)
 		}
 		if err := tbl.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("writing CSV failed", "artifact", name, "err", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatalf("closing CSV failed", "artifact", name, "err", err)
 		}
 	}
 
@@ -152,12 +165,11 @@ func main() {
 		t0 := time.Now()
 		tbl, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ecost-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			cliutil.Fatalf("experiment failed", "exp", name, "err", err)
 		}
 		fmt.Println(tbl)
 		writeCSV(name, tbl)
-		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		slog.Info("experiment done", "exp", name, "took", time.Since(t0).Round(time.Millisecond))
 	}
 
 	run("fig1", func() (experiments.Table, error) { t, _, err := experiments.Fig1PCA(env); return t, err })

@@ -8,6 +8,8 @@
 //	ecost-sim -scenario WS4 -policy ECoST -nodes 4
 //	ecost-sim -scenario WS8 -online -nodes 2 -arrival 120
 //	ecost-sim -scenario WS4 -online -metrics
+//	ecost-sim -scenario WS4 -online -trace-out trace.json -edp-report
+//	ecost-sim -scenario WS4 -online -serve :9090
 //
 // -metrics appends an observability snapshot of the online run (queue
 // depth, per-class wait latency, pairing-tree outcomes, STP prediction
@@ -15,13 +17,28 @@
 // deterministic: two runs with the same flags produce byte-identical
 // output. -metrics-volatile additionally includes wall-clock sections,
 // which vary run to run.
+//
+// -trace-out writes a Chrome trace_event JSON of the run's spans (job
+// lifecycle, map/reduce phases, per-node occupancy) loadable in
+// Perfetto or chrome://tracing; -timeline-out writes the same spans as
+// a deterministic text timeline; -edp-report prints the per-job and
+// per-class energy/EDP attribution rollup. -serve exposes all of the
+// above plus Prometheus /metrics and /debug/pprof/ over HTTP, live
+// during the run and until interrupted afterwards.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 
+	"ecost/internal/cliutil"
 	"ecost/internal/cluster"
 	"ecost/internal/core"
 	"ecost/internal/experiments"
@@ -29,6 +46,7 @@ import (
 	"ecost/internal/metrics"
 	"ecost/internal/sim"
 	"ecost/internal/trace"
+	"ecost/internal/tracing"
 )
 
 func main() {
@@ -41,34 +59,93 @@ func main() {
 	emitMetrics := flag.Bool("metrics", false, "collect and print an observability snapshot (implies -online)")
 	metricsJSON := flag.Bool("metrics-json", false, "print the -metrics snapshot as JSON instead of text")
 	metricsVolatile := flag.Bool("metrics-volatile", false, "include wall-clock (non-deterministic) sections in the -metrics snapshot")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the online run to this file (requires -online)")
+	timelineOut := flag.String("timeline-out", "", "write the deterministic span timeline of the online run to this file (requires -online)")
+	edpReport := flag.Bool("edp-report", false, "print the per-job / per-class EDP attribution report after the online run (requires -online)")
+	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /report, and /debug/pprof/ on this address during and after the online run (requires -online)")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
+	if err := cliutil.SetupLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
+		os.Exit(cliutil.ExitUsage)
+	}
+	if (*metricsJSON || *metricsVolatile) && !*emitMetrics {
+		cliutil.Usagef("-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well")
+	}
 	if *emitMetrics && !*online {
-		fmt.Fprintln(os.Stderr, "ecost-sim: -metrics instruments the online scheduler; enabling -online")
+		slog.Warn("-metrics instruments the online scheduler; enabling -online")
 		*online = true
+	}
+	if !*online {
+		for flagName, set := range map[string]bool{
+			"-trace-out":    *traceOut != "",
+			"-timeline-out": *timelineOut != "",
+			"-edp-report":   *edpReport,
+			"-serve":        *serveAddr != "",
+		} {
+			if set {
+				cliutil.Usagef("flag requires the online scheduler; pass -online", "flag", flagName)
+			}
+		}
 	}
 
 	wl, err := core.Scenario(*scenario)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(2)
+		cliutil.Usagef("bad -scenario", "err", err)
 	}
 	fmt.Printf("scenario %s %s\n%s\n\n", wl.Name, wl.ClassSignature(), wl.AppSignature())
 
-	fmt.Fprintln(os.Stderr, "building environment...")
+	slog.Info("building environment (database + models)")
 	env, err := experiments.NewEnv(experiments.FastOptions())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(1)
+		cliutil.Fatalf("building environment failed", "err", err)
 	}
 
 	if *online {
 		var reg *metrics.Registry
-		if *emitMetrics {
+		if *emitMetrics || *serveAddr != "" {
 			reg = metrics.NewRegistry()
 		}
-		runOnline(env, wl, *nodes, *arrival, *seed, reg)
-		if reg != nil {
+		eng := sim.NewEngine()
+		var tr *tracing.Tracer
+		if *traceOut != "" || *timelineOut != "" || *edpReport || *serveAddr != "" {
+			tr = tracing.New(eng.Clock())
+		}
+		var srv *http.Server
+		if *serveAddr != "" {
+			ln, err := net.Listen("tcp", *serveAddr)
+			if err != nil {
+				cliutil.Fatalf("-serve listen failed", "err", err)
+			}
+			srv = &http.Server{Handler: newServeMux(reg, tr, *metricsVolatile)}
+			go func() {
+				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+					slog.Error("observability server failed", "err", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s/\n", ln.Addr())
+		}
+		runOnline(env, wl, eng, tr, *nodes, *arrival, *seed, reg)
+		if *traceOut != "" {
+			if err := writeArtifact(*traceOut, tr.WriteChromeTrace); err != nil {
+				cliutil.Fatalf("writing -trace-out failed", "err", err)
+			}
+			slog.Info("wrote Chrome trace", "path", *traceOut)
+		}
+		if *timelineOut != "" {
+			if err := writeArtifact(*timelineOut, tr.WriteTimeline); err != nil {
+				cliutil.Fatalf("writing -timeline-out failed", "err", err)
+			}
+			slog.Info("wrote span timeline", "path", *timelineOut)
+		}
+		if *edpReport {
+			fmt.Println()
+			if err := tr.Report().WriteText(os.Stdout); err != nil {
+				cliutil.Fatalf("writing -edp-report failed", "err", err)
+			}
+		}
+		if *emitMetrics {
 			fmt.Println()
 			snap := reg.Snapshot(*metricsVolatile)
 			var werr error
@@ -78,9 +155,15 @@ func main() {
 				werr = snap.WriteText(os.Stdout)
 			}
 			if werr != nil {
-				fmt.Fprintln(os.Stderr, "ecost-sim:", werr)
-				os.Exit(1)
+				cliutil.Fatalf("writing -metrics snapshot failed", "err", werr)
 			}
+		}
+		if srv != nil {
+			fmt.Fprintln(os.Stderr, "run finished; endpoints stay up — interrupt (Ctrl-C) to exit")
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			<-ctx.Done()
+			stop()
+			srv.Close()
 		}
 		return
 	}
@@ -93,19 +176,16 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "ecost-sim: unknown policy %q\n", *policy)
-		os.Exit(2)
+		cliutil.Usagef("unknown -policy", "policy", *policy)
 	}
 	runner := &core.PolicyRunner{Oracle: env.Oracle, DB: env.DB, Tuner: env.LkT, Profiler: env.Profiler}
 	res, err := runner.Run(pol, wl, *nodes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(1)
+		cliutil.Fatalf("policy run failed", "policy", pol.String(), "err", err)
 	}
 	ub, err := runner.Run(core.UB, wl, *nodes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(1)
+		cliutil.Fatalf("UB baseline run failed", "err", err)
 	}
 	fmt.Printf("policy %v on %d node(s):\n", pol, *nodes)
 	fmt.Printf("  makespan  %.0f s\n", res.Makespan)
@@ -114,8 +194,20 @@ func main() {
 	fmt.Printf("  vs UB     %.2fx (UB EDP %.4g)\n", res.EDP/ub.EDP, ub.EDP)
 }
 
-func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float64, seed int64, reg *metrics.Registry) {
-	eng := sim.NewEngine()
+// writeArtifact streams one exporter into a freshly created file.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *tracing.Tracer, nodes int, arrival float64, seed int64, reg *metrics.Registry) {
 	model := mapreduce.NewModel(cluster.AtomC2758())
 	var tuner core.STP = env.LkT
 	if reg != nil {
@@ -127,10 +219,10 @@ func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float6
 	}
 	sched, err := core.NewOnlineScheduler(eng, model, env.DB, tuner, env.Profiler, nodes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(1)
+		cliutil.Fatalf("building online scheduler failed", "err", err)
 	}
 	sched.SetMetrics(reg)
+	sched.SetTracer(tr)
 	rng := sim.NewRNG(seed)
 	at := 0.0
 	arrivals := make([]trace.Arrival, 0, len(wl.Jobs))
@@ -144,8 +236,7 @@ func runOnline(env *experiments.Env, wl core.Workload, nodes int, arrival float6
 	trace.Record(arrivals, reg)
 	makespan, energy, err := sched.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
-		os.Exit(1)
+		cliutil.Fatalf("online run failed", "err", err)
 	}
 	fmt.Printf("online ECoST on %d node(s), mean inter-arrival %.0fs:\n", nodes, arrival)
 	fmt.Printf("  makespan %.0f s, energy %.0f J, EDP %.4g J·s\n\n", makespan, energy, energy*makespan)

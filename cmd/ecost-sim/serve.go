@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"ecost/internal/metrics"
+	"ecost/internal/tracing"
+)
+
+// newServeMux builds the -serve observability mux. Every handler reads
+// the live registry/tracer at request time, so a scrape during the run
+// sees the simulation's progress and a scrape after it sees the final
+// state. Either source may be nil (the flag combination didn't enable
+// it); its endpoints then answer 503 with a hint instead of panicking.
+func newServeMux(reg *metrics.Registry, tr *tracing.Tracer, volatile bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ecost-sim observability endpoints:\n"+
+			"  /metrics      Prometheus text exposition of the run's metrics\n"+
+			"  /trace        Chrome trace_event JSON (load in Perfetto / chrome://tracing)\n"+
+			"  /timeline     deterministic text timeline of all spans\n"+
+			"  /report       per-job and per-class EDP attribution report\n"+
+			"  /debug/pprof/ Go runtime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "metrics not enabled (run with -metrics or -serve)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot(volatile).WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	needTrace := func(w http.ResponseWriter) bool {
+		if tr == nil {
+			http.Error(w, "tracing not enabled (run with -trace-out, -edp-report, or -serve)", http.StatusServiceUnavailable)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !needTrace(w) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if !needTrace(w) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := tr.WriteTimeline(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if !needTrace(w) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := tr.Report().WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// net/http/pprof registers on http.DefaultServeMux in its init; on a
+	// private mux the handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ecost/internal/metrics"
+	"ecost/internal/tracing"
+)
+
+// serveFixture builds a mux over a small hand-made registry and tracer,
+// avoiding the expensive environment build.
+func serveFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("sched.submitted").Add(3)
+	reg.Gauge("power.energy_j.total").Set(1234.5)
+	h := reg.Histogram("sched.wait_s", metrics.ExpBuckets(16, 2, 8))
+	h.Observe(12)
+	h.Observe(40)
+
+	now := 0.0
+	tr := tracing.New(func() float64 { return now })
+	job := tr.Record(tracing.KindJob, "job 0 wc", nil, 0, 100,
+		tracing.Attrs{Job: 0, Node: 0, App: "wc", Class: "CPU", SizeGB: 5})
+	run := tr.Record(tracing.KindRun, "run wc", job, 10, 100,
+		tracing.Attrs{Job: 0, Node: 0, App: "wc", Class: "CPU", SizeGB: 5, Config: "m4f2.4"})
+	run.SetEnergy(900)
+	node := tr.Record(tracing.KindNode, "solo", nil, 0, 100, tracing.Attrs{Job: -1, Node: 0})
+	node.SetEnergy(1100)
+
+	srv := httptest.NewServer(newServeMux(reg, tr, false))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	srv := serveFixture(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", code, body)
+	}
+	for _, want := range []string{
+		"# TYPE ecost_sched_submitted counter",
+		"ecost_sched_submitted 3",
+		"# TYPE ecost_power_energy_j_total gauge",
+		"# TYPE ecost_sched_wait_s summary",
+		"ecost_sched_wait_s_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestServeTraceEndpoint(t *testing.T) {
+	srv := serveFixture(t)
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d: %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	complete := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("/trace has no complete events")
+	}
+}
+
+func TestServeReportAndTimeline(t *testing.T) {
+	srv := serveFixture(t)
+	if code, body := get(t, srv.URL+"/report"); code != http.StatusOK || !strings.Contains(body, "wc") {
+		t.Errorf("/report status %d body:\n%s", code, body)
+	}
+	if code, body := get(t, srv.URL+"/timeline"); code != http.StatusOK || !strings.Contains(body, "run wc") {
+		t.Errorf("/timeline status %d body:\n%s", code, body)
+	}
+	if code, body := get(t, srv.URL+"/"); code != http.StatusOK || !strings.Contains(body, "/debug/pprof/") {
+		t.Errorf("index status %d body:\n%s", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestServePprofProfile is the acceptance check that the CPU profile
+// endpoint returns a non-empty pprof payload.
+func TestServePprofProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile endpoint samples for a wall-clock second")
+	}
+	srv := serveFixture(t)
+	code, body := get(t, srv.URL+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/profile status %d: %s", code, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("/debug/pprof/profile returned an empty body")
+	}
+	if code, body := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/ index status %d, %d bytes", code, len(body))
+	}
+}
+
+// TestServeDisabledSources checks the 503 hints when a source is off.
+func TestServeDisabledSources(t *testing.T) {
+	srv := httptest.NewServer(newServeMux(nil, nil, false))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/trace", "/timeline", "/report"} {
+		if code, _ := get(t, srv.URL+path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nil sources: status %d, want 503", path, code)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"ecost/internal/cliutil"
 	"ecost/internal/experiments"
 	"ecost/internal/workloads"
 )
@@ -21,7 +22,13 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "use the fast (coarse) environment")
 	saveDB := flag.String("save-db", "", "write the configuration database (lookup entries + feature matrix) to this JSON file")
+	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
+
+	if err := cliutil.SetupLogging(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "ecost-train:", err)
+		os.Exit(cliutil.ExitUsage)
+	}
 
 	opt := experiments.DefaultOptions()
 	if *fast {
@@ -30,8 +37,7 @@ func main() {
 	start := time.Now()
 	env, err := experiments.NewEnv(opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-train:", err)
-		os.Exit(1)
+		cliutil.Fatalf("building environment failed", "err", err)
 	}
 	fmt.Printf("database: %d pair entries over %d training applications ×%d sizes (built in %v)\n",
 		len(env.DB.Entries), len(workloads.Training()), len(workloads.DataSizesGB()),
@@ -48,8 +54,7 @@ func main() {
 	for _, app := range workloads.Testing() {
 		obs, err := env.Observe(app, 5)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ecost-train:", err)
-			os.Exit(1)
+			cliutil.Fatalf("profiling failed", "app", app.Name, "err", err)
 		}
 		got := env.DB.Classifier().Classify(obs)
 		near := env.DB.Classifier().NearestKnown(obs)
@@ -70,31 +75,26 @@ func main() {
 
 	t1, _, err := experiments.Table1ModelAPE(env)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-train:", err)
-		os.Exit(1)
+		cliutil.Fatalf("Table 1 failed", "err", err)
 	}
 	fmt.Println(t1)
 
 	f8, _, err := experiments.Fig8Overheads(env)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecost-train:", err)
-		os.Exit(1)
+		cliutil.Fatalf("Figure 8 failed", "err", err)
 	}
 	fmt.Println(f8)
 
 	if *saveDB != "" {
 		f, err := os.Create(*saveDB)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ecost-train:", err)
-			os.Exit(1)
+			cliutil.Fatalf("creating -save-db failed", "err", err)
 		}
 		if err := env.DB.SaveDatabase(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ecost-train:", err)
-			os.Exit(1)
+			cliutil.Fatalf("writing -save-db failed", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "ecost-train:", err)
-			os.Exit(1)
+			cliutil.Fatalf("closing -save-db failed", "err", err)
 		}
 		fmt.Printf("database written to %s (%d entries)\n", *saveDB, len(env.DB.Entries))
 	}

@@ -1,0 +1,58 @@
+// Package cliutil holds the small pieces shared by the ecost command
+// line tools: structured-logging setup and the exit-code convention
+// (2 for flag/usage errors, 1 for runtime failures).
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// ExitUsage is the exit code for invalid flags or flag combinations,
+// matching the convention of flag.ExitOnError.
+const ExitUsage = 2
+
+// ParseLevel maps a -log-level flag value onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// SetupLogging installs the process-wide slog default: a text handler
+// on w (normally os.Stderr) at the named level. It returns an error
+// for an unrecognized level name; callers should exit with ExitUsage.
+func SetupLogging(w io.Writer, level string) error {
+	l, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: l})))
+	return nil
+}
+
+// Fatalf logs err at error level with the given message and exits 1.
+// It replaces the bare fmt.Fprintln(os.Stderr, ...) error paths the
+// commands used to have.
+func Fatalf(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
+// Usagef logs a flag-validation failure and exits ExitUsage.
+func Usagef(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(ExitUsage)
+}

@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"warn":    slog.LevelWarn,
+		"WARNING": slog.LevelWarn,
+		"Error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestSetupLoggingFilters(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+	var buf bytes.Buffer
+	if err := SetupLogging(&buf, "warn"); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("hidden")
+	slog.Warn("shown", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "k=1") {
+		t.Errorf("warn line missing: %q", out)
+	}
+	if err := SetupLogging(&buf, "nope"); err == nil {
+		t.Error("SetupLogging accepted an unknown level")
+	}
+}

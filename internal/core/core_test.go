@@ -27,7 +27,7 @@ var (
 	}
 )
 
-func fixture(t *testing.T) {
+func fixture(t testing.TB) {
 	t.Helper()
 	fixOnce.Do(func() {
 		fix.model = mapreduce.NewModel(cluster.AtomC2758())

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
 	"ecost/internal/power"
 	"ecost/internal/sim"
+	"ecost/internal/tracing"
 	"ecost/internal/workloads"
 )
 
@@ -43,6 +45,22 @@ type OnlineScheduler struct {
 	// met holds the pre-resolved metric handles (nil = observability
 	// off; see SetMetrics).
 	met *schedMetrics
+
+	// tracer records lifecycle and occupancy spans (nil = tracing off;
+	// see SetTracer). traced maps in-flight job IDs to their open
+	// spans; nodeSpans holds each node's current occupancy span.
+	tracer    *tracing.Tracer
+	traced    map[int]*jobSpans
+	nodeSpans []*tracing.Span
+}
+
+// jobSpans tracks one in-flight job's open spans plus the model's
+// latest map/total time split (refreshed at every reschedule, so the
+// final value reflects the contention conditions the job actually
+// finished under).
+type jobSpans struct {
+	job, wait, run *tracing.Span
+	mapFrac        float64
 }
 
 // schedMetrics pre-resolves the scheduler's instruments so the hot
@@ -103,6 +121,45 @@ func (s *OnlineScheduler) SetMetrics(reg *metrics.Registry) {
 		energyPaired: reg.Gauge("power.energy_j.paired"),
 	}
 	s.queue.Metrics = reg
+}
+
+// SetTracer attaches a span tracer to the scheduler. Call before the
+// first Submit; pass nil to disable. The tracer's clock must be the
+// scheduler's engine (tracing.New(engine.Clock())) or span timestamps
+// will not line up with the event log.
+func (s *OnlineScheduler) SetTracer(tr *tracing.Tracer) {
+	s.tracer = tr
+	if tr == nil {
+		s.traced = nil
+		s.nodeSpans = nil
+		return
+	}
+	s.traced = make(map[int]*jobSpans)
+	s.nodeSpans = make([]*tracing.Span, len(s.nodes))
+	for _, n := range s.nodes {
+		s.nodeSpans[n.id] = tr.Start(tracing.KindNode, power.PhaseName(0), nil,
+			tracing.Attrs{Job: -1, Node: n.id})
+	}
+}
+
+// Tracer returns the attached span tracer (nil when tracing is off).
+func (s *OnlineScheduler) Tracer() *tracing.Tracer { return s.tracer }
+
+// rollOccupancy closes a node's current occupancy span and opens the
+// next one — called whenever the resident set changes (after the
+// closing interval's energy has been accrued).
+func (s *OnlineScheduler) rollOccupancy(n *onlineNode) {
+	if s.tracer == nil {
+		return
+	}
+	now := s.Engine.Now()
+	s.nodeSpans[n.id].FinishAt(now)
+	var names []string
+	for _, r := range n.residents {
+		names = append(names, r.job.Obs.App.Name)
+	}
+	s.nodeSpans[n.id] = s.tracer.Start(tracing.KindNode, power.PhaseName(len(n.residents)), nil,
+		tracing.Attrs{Job: -1, Node: n.id, Detail: strings.Join(names, "+")})
 }
 
 // sampleDepth records the queue depth at the current sim-time.
@@ -191,6 +248,16 @@ func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 			})
 			s.sampleDepth()
 		}
+		if s.tracer != nil {
+			attrs := tracing.Attrs{
+				Job: id, Node: -1,
+				App: app.Name, Class: j.Class.String(), SizeGB: sizeGB,
+			}
+			js := &jobSpans{}
+			js.job = s.tracer.Start(tracing.KindJob, "job "+app.Name, nil, attrs)
+			js.wait = s.tracer.Start(tracing.KindWait, "wait", js.job, attrs)
+			s.traced[id] = js
+		}
 		s.dispatch()
 	})
 }
@@ -222,6 +289,12 @@ func (s *OnlineScheduler) Run() (makespan, energyJ float64, err error) {
 		return 0, 0, fmt.Errorf("core: online scheduler: %d jobs never completed", s.pending)
 	}
 	s.accrueEnergy() // close the last interval
+	if s.tracer != nil {
+		now := s.Engine.Now()
+		for _, sp := range s.nodeSpans {
+			sp.FinishAt(now)
+		}
+	}
 	return s.Engine.Now(), s.energyJ, nil
 }
 
@@ -240,6 +313,22 @@ func (s *OnlineScheduler) accrueEnergy() {
 		}
 		watts += w
 		s.phases.Add(len(n.residents), w*dt)
+		if s.tracer != nil {
+			// Attribute the node's joules to its occupancy span in
+			// full, and in equal shares to the resident jobs' run
+			// spans — so node spans re-integrate to the cluster bill
+			// and run spans to its solo+co-located share.
+			e := w * dt
+			s.nodeSpans[n.id].AddEnergy(e)
+			if len(n.residents) > 0 {
+				share := e / float64(len(n.residents))
+				for _, r := range n.residents {
+					if js := s.traced[r.job.ID]; js != nil {
+						js.run.AddEnergy(share)
+					}
+				}
+			}
+		}
 	}
 	s.energyJ += watts * dt
 	s.lastUpdate = now
@@ -344,7 +433,31 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
 	if s.met != nil {
 		s.met.waitFor(j.Class).Observe(now - j.Arrived)
 	}
+	var partner *onlineJob
+	if len(n.residents) == 1 {
+		partner = n.residents[0]
+	}
 	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
+	if s.tracer != nil {
+		js := s.traced[j.ID]
+		js.wait.FinishAt(now)
+		attrs := tracing.Attrs{
+			Job: j.ID, Node: n.id,
+			App: j.Obs.App.Name, Class: j.Class.String(), SizeGB: j.Obs.SizeGB,
+			Config: cfg.String(),
+		}
+		if partner != nil {
+			attrs.Partner = partner.job.Obs.App.Name
+			// The resident learns its partner too (and its possibly
+			// re-tuned configuration).
+			if pjs := s.traced[partner.job.ID]; pjs != nil {
+				pjs.run.SetPartner(j.Obs.App.Name)
+				pjs.run.SetConfig(partner.cfg.String())
+			}
+		}
+		js.run = s.tracer.Start(tracing.KindRun, "run "+j.Obs.App.Name, js.job, attrs)
+		s.rollOccupancy(n)
+	}
 	s.reschedule(n)
 }
 
@@ -364,6 +477,7 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 					Detail: fmt.Sprintf("pair cfg=%v resident=%d cfg=%v", pairCfg[1], resident.job.ID, pairCfg[0]),
 				})
 			}
+			s.traceTune(n, j, pairCfg[1], fmt.Sprintf("pair resident=%d cfg=%v", resident.job.ID, pairCfg[0]))
 			return pairCfg[1]
 		}
 	}
@@ -388,7 +502,55 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 			Detail: fmt.Sprintf("solo cfg=%v", cfg),
 		})
 	}
+	s.traceTune(n, j, cfg, "solo")
 	return cfg
+}
+
+// traceTune records the (instantaneous in sim-time) STP tuning decision
+// as a zero-duration span under the job.
+func (s *OnlineScheduler) traceTune(n *onlineNode, j *Job, cfg mapreduce.Config, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	now := s.Engine.Now()
+	var parent *tracing.Span
+	if js := s.traced[j.ID]; js != nil {
+		parent = js.job
+	}
+	s.tracer.Record(tracing.KindTune, "tune", parent, now, now, tracing.Attrs{
+		Job: j.ID, Node: n.id,
+		App: j.Obs.App.Name, Class: j.Class.String(),
+		Config: cfg.String(), Detail: detail,
+	})
+}
+
+// traceComplete closes a finished job's spans: the run span ends now,
+// the retroactive map and shuffle/reduce sub-spans split the run at the
+// model's phase boundary (sharing the run's attributed energy in the
+// same proportion), and the node's occupancy span rolls over.
+func (s *OnlineScheduler) traceComplete(n *onlineNode, finisher *onlineJob) {
+	if s.tracer == nil {
+		return
+	}
+	js := s.traced[finisher.job.ID]
+	if js == nil {
+		return
+	}
+	now := s.Engine.Now()
+	js.run.FinishAt(now)
+	run := js.run.Snapshot()
+	attrs := tracing.Attrs{
+		Job: finisher.job.ID, Node: n.id,
+		App: finisher.job.Obs.App.Name, Class: finisher.job.Class.String(),
+	}
+	mapEnd := run.Start + js.mapFrac*(now-run.Start)
+	s.tracer.Record(tracing.KindMap, "map", js.run, run.Start, mapEnd, attrs).
+		SetEnergy(js.mapFrac * run.EnergyJ)
+	s.tracer.Record(tracing.KindReduce, "shuffle/reduce", js.run, mapEnd, now, attrs).
+		SetEnergy((1 - js.mapFrac) * run.EnergyJ)
+	js.job.FinishAt(now)
+	delete(s.traced, finisher.job.ID)
+	s.rollOccupancy(n)
 }
 
 // reschedule recomputes the node's next completion event from the
@@ -404,6 +566,18 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 	sts, _, err := s.Model.Steady(n.specs())
 	if err != nil {
 		panic(err)
+	}
+	if s.tracer != nil {
+		// Refresh each resident's map/total split under the current
+		// contention — the value in force at completion places the
+		// map → shuffle/reduce boundary on the job's span.
+		for i, r := range n.residents {
+			if js := s.traced[r.job.ID]; js != nil {
+				if tot := sts[i].MapTime + sts[i].ReduceTime; tot > 0 {
+					js.mapFrac = sts[i].MapTime / tot
+				}
+			}
+		}
 	}
 	// Next finisher under current contention.
 	next := -1
@@ -459,6 +633,7 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 				Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
 			})
 		}
+		s.traceComplete(n, finisher)
 		n.event = nil
 		s.reschedule(n)
 		s.dispatch()

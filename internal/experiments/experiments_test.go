@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -302,6 +303,43 @@ func TestOnlineTrace(t *testing.T) {
 	}
 	if data.MeanElapsed < data.MeanWait {
 		t.Fatalf("sojourn below wait: %+v", data)
+	}
+}
+
+func TestOnlineTraceObserved(t *testing.T) {
+	tbl, data, rep, err := OnlineTraceObserved(freshRunEnv(t), onlineSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != data.Jobs {
+		t.Fatalf("report covers %d jobs, run completed %d", len(rep.Jobs), data.Jobs)
+	}
+	if math.Abs(rep.Phases.TotalJ()-data.EnergyJ) > 1e-9*data.EnergyJ {
+		t.Errorf("report phase total %v != run energy %v", rep.Phases.TotalJ(), data.EnergyJ)
+	}
+	if rep.AttributedJ <= 0 || rep.AttributedJ > data.EnergyJ {
+		t.Errorf("attributed %v outside (0, %v]", rep.AttributedJ, data.EnergyJ)
+	}
+	for _, j := range rep.Jobs {
+		if j.EnergyJ <= 0 || j.EDP <= 0 {
+			t.Errorf("job %d has degenerate attribution: %+v", j.Job, j)
+		}
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		found = found || row[0] == "attributed energy (kJ)"
+	}
+	if !found {
+		t.Error("table missing the attributed-energy row")
+	}
+	// The traced run must not perturb the untraced result (fresh env so
+	// the profiler noise sequence restarts identically).
+	_, plain, err := OnlineTrace(freshRunEnv(t), onlineSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EDP != data.EDP || plain.Makespan != data.Makespan {
+		t.Errorf("tracing perturbed the run: %+v vs %+v", plain, data)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"ecost/internal/core"
 	"ecost/internal/sim"
 	"ecost/internal/trace"
+	"ecost/internal/tracing"
 )
 
 // OnlineData summarizes an open-loop run of the event-driven scheduler.
@@ -24,22 +25,42 @@ type OnlineData struct {
 // scenarios. It reports cluster EDP and queueing behaviour (the head
 // reservation keeps the maximum wait bounded).
 func OnlineTrace(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, error) {
+	tbl, data, _, err := onlineTrace(env, spec, nodes, false)
+	return tbl, data, err
+}
+
+// OnlineTraceObserved is OnlineTrace with span tracing attached: it
+// additionally returns the per-job / per-class EDP attribution report
+// and appends the attributed-energy summary to the table. The traced
+// run is identical to the untraced one (tracing observes the same
+// event loop without perturbing it).
+func OnlineTraceObserved(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, tracing.Report, error) {
+	return onlineTrace(env, spec, nodes, true)
+}
+
+func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool) (Table, OnlineData, tracing.Report, error) {
 	var data OnlineData
+	var rep tracing.Report
 	arrivals, err := trace.Generate(spec)
 	if err != nil {
-		return Table{}, data, err
+		return Table{}, data, rep, err
 	}
 	eng := sim.NewEngine()
 	sched, err := core.NewOnlineScheduler(eng, env.Model, env.DB, env.REPTree, env.Profiler, nodes)
 	if err != nil {
-		return Table{}, data, err
+		return Table{}, data, rep, err
+	}
+	var tr *tracing.Tracer
+	if traced {
+		tr = tracing.New(eng.Clock())
+		sched.SetTracer(tr)
 	}
 	for _, a := range arrivals {
 		sched.Submit(a.App, a.SizeGB, a.At)
 	}
 	makespan, energy, err := sched.Run()
 	if err != nil {
-		return Table{}, data, err
+		return Table{}, data, rep, err
 	}
 	data.Jobs = len(arrivals)
 	data.Makespan = makespan
@@ -72,5 +93,11 @@ func OnlineTrace(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, error
 	tbl.AddRow("mean sojourn (s)", data.MeanElapsed)
 	tbl.Notes = append(tbl.Notes,
 		"head-of-queue reservation bounds the maximum wait (no starvation)")
-	return tbl, data, nil
+	if traced {
+		rep = tr.Report()
+		tbl.AddRow("attributed energy (kJ)", rep.AttributedJ/1000)
+		tbl.Notes = append(tbl.Notes,
+			"attributed energy is the solo+co-located share of the bill carried by job run spans")
+	}
+	return tbl, data, rep, nil
 }

@@ -254,6 +254,11 @@ type SteadyState struct {
 	// CPUUtil and IOWait describe the application's cores.
 	CPUUtil float64
 	IOWait  float64
+	// MapTime and ReduceTime split JobTime at the phase boundary under
+	// this contention — the split the span tracer uses to place the
+	// map → shuffle/reduce transition on a job's timeline.
+	MapTime    float64
+	ReduceTime float64
 }
 
 // Steady solves the contention among the given co-running applications
@@ -277,7 +282,10 @@ func (m *Model) Steady(specs []RunSpec) ([]SteadyState, float64, error) {
 	out := make([]SteadyState, len(sts))
 	active := make([]bool, len(sts))
 	for i, st := range sts {
-		out[i] = SteadyState{JobTime: st.T, CPUUtil: st.util, IOWait: st.iowait}
+		out[i] = SteadyState{
+			JobTime: st.T, CPUUtil: st.util, IOWait: st.iowait,
+			MapTime: st.mapTime, ReduceTime: st.redTime,
+		}
 		active[i] = true
 	}
 	watts := power.NodePower(m.Spec, m.activity(specs, sts, active))

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) — what the ecost-sim -serve /metrics endpoint returns
+// so a live online run can be scraped. The mapping:
+//
+//   - counters  → counter families
+//   - gauges    → gauge families
+//   - histograms → summary families (the snapshot already carries the
+//     interpolated p50/p95/p99, which map onto quantile samples more
+//     faithfully than re-deriving cumulative buckets would)
+//   - series    → a gauge holding the latest sample
+//
+// Metric names are prefixed "ecost_" and sanitized to the Prometheus
+// grammar (dots and other separators become underscores). Like every
+// snapshot renderer, output order is fixed (name-sorted within each
+// section), so the exposition is deterministic for a deterministic
+// snapshot.
+
+// PromName sanitizes an instrument name into a Prometheus metric name.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("ecost_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP string per the exposition format.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders the snapshot as Prometheus text exposition.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	head := func(name, src, typ string) {
+		fmt.Fprintf(bw, "# HELP %s ecost instrument %s\n", name, promEscapeHelp(src))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+	}
+	for _, c := range s.Counters {
+		name := PromName(c.Name)
+		head(name, c.Name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := PromName(g.Name)
+		head(name, g.Name, "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, fmtF(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := PromName(h.Name)
+		head(name, h.Name, "summary")
+		if h.Count > 0 {
+			fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", name, fmtF(h.P50))
+			fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", name, fmtF(h.P95))
+			fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", name, fmtF(h.P99))
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", name, fmtF(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	for _, se := range s.Series {
+		name := PromName(se.Name)
+		head(name, se.Name+" (latest sample)", "gauge")
+		fmt.Fprintf(bw, "%s %s\n", name, fmtF(se.Last))
+	}
+	return bw.Flush()
+}

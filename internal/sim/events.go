@@ -57,6 +57,13 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Clock returns a closure reading the engine's simulated time — the
+// clock signature observability consumers (the span tracer, series
+// samplers) take without holding the engine itself.
+func (e *Engine) Clock() func() float64 {
+	return func() float64 { return e.now }
+}
+
 // Fired reports how many events have run so far.
 func (e *Engine) Fired() int64 { return e.fired }
 

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ecost/internal/metrics"
@@ -48,6 +49,9 @@ func Generate(spec Spec) ([]Arrival, error) {
 	if spec.N <= 0 {
 		return nil, fmt.Errorf("trace: N = %d must be positive", spec.N)
 	}
+	if math.IsNaN(spec.MeanInterarrival) || math.IsInf(spec.MeanInterarrival, 0) {
+		return nil, fmt.Errorf("trace: mean interarrival %v must be finite", spec.MeanInterarrival)
+	}
 	pool := workloads.Apps()
 	if spec.UnknownOnly {
 		pool = workloads.Testing()
@@ -57,8 +61,9 @@ func Generate(spec Spec) ([]Arrival, error) {
 		sizes = workloads.DataSizesGB()
 	}
 	for _, s := range sizes {
-		if s <= 0 {
-			return nil, fmt.Errorf("trace: size %v must be positive", s)
+		// The comparison alone lets NaN through (NaN <= 0 is false).
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("trace: size %v must be positive and finite", s)
 		}
 	}
 
@@ -82,8 +87,8 @@ func Generate(spec Spec) ([]Arrival, error) {
 	var total float64
 	for _, c := range workloads.Classes() {
 		w := mix[c]
-		if w < 0 {
-			return nil, fmt.Errorf("trace: negative weight for class %v", c)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("trace: weight %v for class %v must be finite and non-negative", w, c)
 		}
 		if w > 0 && len(byClass[c]) > 0 {
 			slots = append(slots, slot{c, w})

@@ -1,0 +1,340 @@
+// Package tracing is the span layer of the ECoST observability stack:
+// where internal/metrics answers "how much" (counts, depths,
+// percentiles), tracing answers "where did the time and energy go".
+// Every job's lifecycle (submit → queue-wait → tune → map →
+// shuffle/reduce → complete) and every node's occupancy phase (idle /
+// solo / co-located) becomes a span over the simulated clock, carrying
+// attributes (application, class, size, chosen configuration, partner)
+// and an energy attribution in joules integrated from the power model.
+//
+// Two properties carry over from internal/metrics:
+//
+//  1. Determinism. Span timestamps come from the simulated clock and
+//     span order from the single-threaded event loop, so the exported
+//     timeline (export.go) is byte-identical across same-seed runs at
+//     any GOMAXPROCS — golden tests enforce it.
+//
+//  2. Nil-safety. A nil *Tracer hands out nil *Spans, and every span
+//     operation on nil is a single-branch no-op (BenchmarkDisabledSpan
+//     — sub-nanosecond), so uninstrumented runs pay nothing.
+//
+// The tracer itself is concurrency-safe (a mutex guards the span
+// table) because the -serve endpoints read it live while the
+// simulation runs.
+package tracing
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind labels what a span covers.
+type Kind uint8
+
+// The span vocabulary, following the paper's Figure-4 job flow plus
+// the per-node occupancy view the energy split needs.
+const (
+	// KindJob is the whole job: submit to complete.
+	KindJob Kind = iota
+	// KindWait is the queueing delay: submit to placement.
+	KindWait
+	// KindTune is the STP tuning decision (instantaneous in sim-time).
+	KindTune
+	// KindRun is the residency on a node: placement to completion.
+	KindRun
+	// KindMap is the map phase of a run.
+	KindMap
+	// KindReduce is the shuffle/reduce phase of a run.
+	KindReduce
+	// KindNode is one node-occupancy phase: the interval over which a
+	// node's resident set stays unchanged (named idle/solo/co-located).
+	KindNode
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindJob:
+		return "job"
+	case KindWait:
+		return "wait"
+	case KindTune:
+		return "tune"
+	case KindRun:
+		return "run"
+	case KindMap:
+		return "map"
+	case KindReduce:
+		return "reduce"
+	case KindNode:
+		return "node"
+	}
+	return "unknown"
+}
+
+// Attrs are a span's attributes. Every field must derive from simulated
+// state only, so the exported trace stays deterministic.
+type Attrs struct {
+	// Job is the subject job's ID (-1 when not job-scoped).
+	Job int
+	// Node is the node the span ran on (-1 when not node-scoped).
+	Node int
+	// App and Class identify the application (empty when not job-scoped).
+	App   string
+	Class string
+	// SizeGB is the job's input size.
+	SizeGB float64
+	// Config is the rendered tuning configuration applied to the span.
+	Config string
+	// Partner names the co-located application, when there was one.
+	Partner string
+	// Detail is a short free-form annotation.
+	Detail string
+}
+
+// Span is one traced interval. Fields are written by the tracer under
+// its lock; readers must go through Tracer.Spans (which copies) or hold
+// a finished span.
+type Span struct {
+	// ID is the creation-order identifier (deterministic under the
+	// single-threaded event loop).
+	ID int
+	// Parent is the enclosing span's ID, or -1 for a root span.
+	Parent int
+	// Kind and Name classify the span.
+	Kind Kind
+	Name string
+	// Start and End are simulated seconds. End is NaN while the span is
+	// open.
+	Start float64
+	End   float64
+	// EnergyJ is the energy attributed to the span's interval, in
+	// joules, integrated from the power model by the owner.
+	EnergyJ float64
+	// Attrs carries the span's attributes.
+	Attrs Attrs
+
+	tr *Tracer
+}
+
+// Open reports whether the span has not ended yet.
+func (s Span) Open() bool { return math.IsNaN(s.End) }
+
+// Dur returns the span duration in simulated seconds (0 while open).
+func (s Span) Dur() float64 {
+	if s.Open() {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Tracer records spans against a simulated clock. Construct with New;
+// a nil *Tracer is the disabled mode.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() float64
+	spans []*Span
+}
+
+// New returns a tracer reading the simulated clock through now
+// (typically sim.Engine.Clock()).
+func New(now func() float64) *Tracer {
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+	return &Tracer{now: now}
+}
+
+// Start opens a span at the current simulated time. Nil-safe: a nil
+// tracer returns a nil span whose operations are no-ops. The nil branch
+// is small enough to inline, so disabled tracing compiles down to a
+// compare-and-return at call sites (see BenchmarkDisabledSpan).
+func (t *Tracer) Start(kind Kind, name string, parent *Span, a Attrs) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(kind, name, parent, a)
+}
+
+func (t *Tracer) start(kind Kind, name string, parent *Span, a Attrs) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.add(kind, name, parent, t.now(), math.NaN(), a)
+}
+
+// Record adds an already-finished span retroactively — how the
+// scheduler materializes map/reduce sub-phases once a job's actual
+// interval is known. Nil-safe.
+func (t *Tracer) Record(kind Kind, name string, parent *Span, start, end float64, a Attrs) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.record(kind, name, parent, start, end, a)
+}
+
+func (t *Tracer) record(kind Kind, name string, parent *Span, start, end float64, a Attrs) *Span {
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.add(kind, name, parent, start, end, a)
+}
+
+// add appends a span; the caller holds t.mu.
+func (t *Tracer) add(kind Kind, name string, parent *Span, start, end float64, a Attrs) *Span {
+	pid := -1
+	if parent != nil {
+		pid = parent.ID
+	}
+	s := &Span{
+		ID:     len(t.spans),
+		Parent: pid,
+		Kind:   kind,
+		Name:   name,
+		Start:  start,
+		End:    end,
+		Attrs:  a,
+		tr:     t,
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Finish closes the span at the current simulated time. Finishing a
+// finished span (or a nil span) is a no-op.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.finish()
+}
+
+func (s *Span) finish() {
+	s.tr.mu.Lock()
+	if math.IsNaN(s.End) {
+		s.End = s.tr.now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// FinishAt closes the span at an explicit simulated time.
+func (s *Span) FinishAt(at float64) {
+	if s == nil {
+		return
+	}
+	s.finishAt(at)
+}
+
+func (s *Span) finishAt(at float64) {
+	s.tr.mu.Lock()
+	if math.IsNaN(s.End) {
+		if at < s.Start {
+			at = s.Start
+		}
+		s.End = at
+	}
+	s.tr.mu.Unlock()
+}
+
+// AddEnergy accrues joules onto the span. Nil-safe.
+func (s *Span) AddEnergy(j float64) {
+	if s == nil {
+		return
+	}
+	s.addEnergy(j)
+}
+
+func (s *Span) addEnergy(j float64) {
+	s.tr.mu.Lock()
+	s.EnergyJ += j
+	s.tr.mu.Unlock()
+}
+
+// SetEnergy overwrites the span's energy attribution. Nil-safe.
+func (s *Span) SetEnergy(j float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.EnergyJ = j
+	s.tr.mu.Unlock()
+}
+
+// SetConfig records the applied tuning configuration. Nil-safe.
+func (s *Span) SetConfig(cfg string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs.Config = cfg
+	s.tr.mu.Unlock()
+}
+
+// SetPartner records the co-located application. Nil-safe.
+func (s *Span) SetPartner(p string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs.Partner = p
+	s.tr.mu.Unlock()
+}
+
+// Snapshot returns a value copy of the span's current state (safe to
+// read fields from). A nil span yields a zero value.
+func (s *Span) Snapshot() Span {
+	if s == nil {
+		return Span{Parent: -1}
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	cp := *s
+	cp.tr = nil
+	return cp
+}
+
+// Len reports the number of recorded spans. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns value copies of every span, sorted by (Start, ID) —
+// the canonical deterministic order every exporter uses. Open spans are
+// included with End = NaN. Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+		out[i].tr = nil
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TotalEnergyJ sums the energy attributed to spans of the given kind.
+func TotalEnergyJ(spans []Span, kind Kind) float64 {
+	var sum float64
+	for _, s := range spans {
+		if s.Kind == kind {
+			sum += s.EnergyJ
+		}
+	}
+	return sum
+}

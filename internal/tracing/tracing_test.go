@@ -1,0 +1,149 @@
+package tracing
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeClock is a manually advanced simulated clock.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(KindJob, "job", nil, Attrs{Job: 1})
+	if sp != nil {
+		t.Fatal("nil tracer handed out a non-nil span")
+	}
+	// Every span operation must tolerate nil.
+	sp.Finish()
+	sp.FinishAt(5)
+	sp.AddEnergy(10)
+	sp.SetEnergy(10)
+	sp.SetConfig("cfg")
+	sp.SetPartner("p")
+	if got := sp.Snapshot(); got.Parent != -1 {
+		t.Fatalf("nil span snapshot = %+v", got)
+	}
+	if tr.Record(KindMap, "m", nil, 0, 1, Attrs{}) != nil {
+		t.Fatal("nil tracer recorded a span")
+	}
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer claims spans")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	clk.t = 10
+	job := tr.Start(KindJob, "job wc", nil, Attrs{Job: 3, Node: -1, App: "wc", Class: "C", SizeGB: 5})
+	wait := tr.Start(KindWait, "wait", job, Attrs{Job: 3, Node: -1})
+	if job.Snapshot().Parent != -1 || wait.Snapshot().Parent != job.ID {
+		t.Fatal("parent linkage wrong")
+	}
+	if !job.Snapshot().Open() {
+		t.Fatal("unended span not open")
+	}
+	clk.t = 25
+	wait.Finish()
+	run := tr.Start(KindRun, "run wc", job, Attrs{Job: 3, Node: 0})
+	run.SetConfig("f2.4 m4 b128")
+	run.SetPartner("nb")
+	run.AddEnergy(50)
+	run.AddEnergy(25)
+	clk.t = 100
+	run.Finish()
+	run.Finish() // double Finish keeps the first timestamp
+	job.FinishAt(100)
+
+	ws := wait.Snapshot()
+	if ws.Start != 10 || ws.End != 25 || ws.Dur() != 15 {
+		t.Fatalf("wait span = %+v", ws)
+	}
+	rs := run.Snapshot()
+	if rs.EnergyJ != 75 || rs.Attrs.Config != "f2.4 m4 b128" || rs.Attrs.Partner != "nb" {
+		t.Fatalf("run span = %+v", rs)
+	}
+	if rs.End != 100 {
+		t.Fatalf("double End moved the timestamp: %+v", rs)
+	}
+	if js := job.Snapshot(); js.Dur() != 90 {
+		t.Fatalf("job span = %+v", js)
+	}
+}
+
+func TestRecordRetroactive(t *testing.T) {
+	tr := New(nil)
+	m := tr.Record(KindMap, "map", nil, 5, 12, Attrs{Job: 0, Node: 1})
+	if s := m.Snapshot(); s.Start != 5 || s.End != 12 {
+		t.Fatalf("retroactive span = %+v", s)
+	}
+	// An inverted interval clamps to zero length rather than going negative.
+	r := tr.Record(KindReduce, "reduce", nil, 12, 7, Attrs{})
+	if s := r.Snapshot(); s.Dur() != 0 || s.Start != 12 {
+		t.Fatalf("inverted interval = %+v", s)
+	}
+}
+
+func TestSpansCanonicalOrder(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	clk.t = 50
+	a := tr.Start(KindRun, "late", nil, Attrs{Job: 0})
+	tr.Record(KindMap, "early", nil, 10, 20, Attrs{Job: 1})
+	tr.Record(KindMap, "same-start-2", nil, 30, 31, Attrs{Job: 2})
+	tr.Record(KindMap, "same-start-1", nil, 30, 32, Attrs{Job: 3})
+	a.Finish()
+	got := tr.Spans()
+	wantNames := []string{"early", "same-start-2", "same-start-1", "late"}
+	for i, w := range wantNames {
+		if got[i].Name != w {
+			t.Fatalf("order[%d] = %q, want %q (full: %+v)", i, got[i].Name, w, got)
+		}
+	}
+	if !math.IsNaN(tr.Start(KindJob, "open", nil, Attrs{}).Snapshot().End) {
+		t.Fatal("open span has a non-NaN end")
+	}
+}
+
+func TestTotalEnergy(t *testing.T) {
+	tr := New(nil)
+	tr.Record(KindNode, "idle", nil, 0, 1, Attrs{Node: 0}).AddEnergy(3)
+	tr.Record(KindNode, "solo", nil, 1, 2, Attrs{Node: 0}).AddEnergy(5)
+	tr.Record(KindRun, "run", nil, 1, 2, Attrs{Job: 0, Node: 0}).AddEnergy(5)
+	spans := tr.Spans()
+	if got := TotalEnergyJ(spans, KindNode); got != 8 {
+		t.Fatalf("node energy = %v, want 8", got)
+	}
+	if got := TotalEnergyJ(spans, KindRun); got != 5 {
+		t.Fatalf("run energy = %v, want 5", got)
+	}
+}
+
+// BenchmarkDisabledSpan proves disabled tracing costs one predictable
+// branch per call — the same contract as metrics.BenchmarkDisabledCounter.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	attrs := Attrs{Job: 1, Node: 0, App: "wc", Class: "C"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindRun, "run", nil, attrs)
+		sp.AddEnergy(1)
+		sp.Finish()
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path cost for contrast.
+func BenchmarkEnabledSpan(b *testing.B) {
+	clk := &fakeClock{}
+	tr := New(clk.now)
+	attrs := Attrs{Job: 1, Node: 0, App: "wc", Class: "C"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindRun, "run", nil, attrs)
+		sp.AddEnergy(1)
+		sp.Finish()
+	}
+}
