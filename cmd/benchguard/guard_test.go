@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ecost/internal/metrics
+BenchmarkDisabledCounter   	1000000000	         0.3945 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDisabledHistogram-4 	1000000000	         0.3912 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem             	  500000	      2100 ns/op
+PASS
+ok  	ecost/internal/metrics	0.878s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	if m := got["BenchmarkDisabledCounter"]; m.NsOp != 0.3945 || m.AllocsOp != 0 {
+		t.Errorf("DisabledCounter = %+v", m)
+	}
+	// The -N GOMAXPROCS suffix is stripped.
+	if m, ok := got["BenchmarkDisabledHistogram"]; !ok || m.NsOp != 0.3912 {
+		t.Errorf("DisabledHistogram = %+v (ok=%v)", m, ok)
+	}
+	// Without -benchmem, allocations are unmeasured (-1), not zero.
+	if m := got["BenchmarkNoMem"]; m.NsOp != 2100 || m.AllocsOp != -1 {
+		t.Errorf("NoMem = %+v", m)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []baselineEntry{
+		{Benchmark: "BenchmarkSubNs", NsOp: 0.37, AllocsOp: 0, Guard: true},
+		{Benchmark: "BenchmarkBig", NsOp: 1000, AllocsOp: 2, Guard: true},
+		{Benchmark: "BenchmarkGone", NsOp: 5, AllocsOp: 0, Guard: true},
+		{Benchmark: "BenchmarkRecordOnly", NsOp: 1, AllocsOp: 0}, // not guarded
+	}
+	got := map[string]measured{
+		// 0.46 ns is +24% of the sub-ns baseline but well inside the
+		// 1 ns absolute floor; must pass.
+		"BenchmarkSubNs":      {NsOp: 0.46, AllocsOp: 0},
+		"BenchmarkBig":        {NsOp: 1249, AllocsOp: 2}, // within 25%
+		"BenchmarkRecordOnly": {NsOp: 9999, AllocsOp: 50},
+	}
+	comps := compare(base, got, 25, 1)
+	if len(comps) != 3 {
+		t.Fatalf("compared %d entries, want the 3 guarded ones: %+v", len(comps), comps)
+	}
+	byName := map[string]comparison{}
+	for _, c := range comps {
+		byName[c.Benchmark] = c
+	}
+	if c := byName["BenchmarkSubNs"]; c.Status != statusOK || c.LimitNs != 1.37 {
+		t.Errorf("SubNs = %+v, want ok with limit 1.37 (abs floor)", c)
+	}
+	if c := byName["BenchmarkBig"]; c.Status != statusOK || c.LimitNs != 1250 {
+		t.Errorf("Big = %+v, want ok with limit 1250 (25%%)", c)
+	}
+	if c := byName["BenchmarkGone"]; c.Status != statusMissing {
+		t.Errorf("Gone = %+v, want missing", c)
+	}
+
+	// ns/op over the limit regresses.
+	got["BenchmarkBig"] = measured{NsOp: 1251, AllocsOp: 2}
+	if c := findComp(t, compare(base, got, 25, 1), "BenchmarkBig"); c.Status != statusRegressed {
+		t.Errorf("over-limit ns = %+v, want regressed", c)
+	}
+	// A new allocation regresses even when ns/op is fine.
+	got["BenchmarkSubNs"] = measured{NsOp: 0.37, AllocsOp: 1}
+	if c := findComp(t, compare(base, got, 25, 1), "BenchmarkSubNs"); c.Status != statusRegressed {
+		t.Errorf("new alloc = %+v, want regressed", c)
+	}
+	// Unmeasured allocations (no -benchmem) gate only on ns/op.
+	got["BenchmarkSubNs"] = measured{NsOp: 0.37, AllocsOp: -1}
+	if c := findComp(t, compare(base, got, 25, 1), "BenchmarkSubNs"); c.Status != statusOK {
+		t.Errorf("unmeasured allocs = %+v, want ok", c)
+	}
+}
+
+func findComp(t *testing.T, comps []comparison, name string) comparison {
+	t.Helper()
+	for _, c := range comps {
+		if c.Benchmark == name {
+			return c
+		}
+	}
+	t.Fatalf("no comparison for %s in %+v", name, comps)
+	return comparison{}
+}
+
+func TestWriteComparison(t *testing.T) {
+	comps := []comparison{
+		{Benchmark: "BenchmarkA", Package: "internal/x", BaseNs: 0.37, LimitNs: 1.37, GotNs: 0.4, BaseAllocs: 0, GotAllocs: 0, Status: statusOK},
+		{Benchmark: "BenchmarkB", Package: "internal/y", BaseNs: 5, LimitNs: 6.25, GotAllocs: -1, Status: statusMissing},
+	}
+	var buf bytes.Buffer
+	if err := writeComparison(&buf, comps, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", statusMissing, "1 guarded benchmark(s) failed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGuardedBaselineFile loads the repo's real BENCH_PERF.json: the
+// schema must parse and the disabled-path benchmarks the CI job runs
+// must all be guarded, so the workflow and the baseline cannot drift
+// apart silently.
+func TestGuardedBaselineFile(t *testing.T) {
+	base, err := loadBaseline("../../BENCH_PERF.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := map[string]bool{}
+	for _, b := range base {
+		if b.Guard {
+			guarded[b.Benchmark] = true
+			if b.AllocsOp != 0 {
+				t.Errorf("%s is guarded with baseline allocs %d; disabled paths must be alloc-free", b.Benchmark, b.AllocsOp)
+			}
+		}
+	}
+	for _, want := range []string{
+		"BenchmarkDisabledCounter",
+		"BenchmarkDisabledHistogram",
+		"BenchmarkDisabledSpan",
+		"BenchmarkDisabledAudit",
+	} {
+		if !guarded[want] {
+			t.Errorf("BENCH_PERF.json does not guard %s", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+// runFlags is the parsed flag set that participates in cross-flag
+// validation. Online carries the post-implication value (-metrics
+// silently enables -online before validation runs).
+type runFlags struct {
+	Online          bool
+	Metrics         bool
+	MetricsJSON     bool
+	MetricsVolatile bool
+	TraceOut        string
+	TimelineOut     string
+	EDPReport       bool
+	QualityReport   bool
+	ServeAddr       string
+}
+
+// onlineOnly lists the flags that are meaningless without the online
+// scheduler, in the order contradictions are reported.
+func (f runFlags) onlineOnly() []struct {
+	name string
+	set  bool
+} {
+	return []struct {
+		name string
+		set  bool
+	}{
+		{"-trace-out", f.TraceOut != ""},
+		{"-timeline-out", f.TimelineOut != ""},
+		{"-edp-report", f.EDPReport},
+		{"-quality-report", f.QualityReport},
+		{"-serve", f.ServeAddr != ""},
+	}
+}
+
+// contradiction returns the usage message for the first inconsistent
+// flag combination, or "" when the set is coherent. Kept as a pure
+// function so every rejection path is table-testable without spawning
+// the binary (the caller exits with cliutil.ExitUsage on a non-empty
+// result).
+func (f runFlags) contradiction() string {
+	if (f.MetricsJSON || f.MetricsVolatile) && !f.Metrics {
+		return "-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well"
+	}
+	if !f.Online {
+		for _, c := range f.onlineOnly() {
+			if c.set {
+				return c.name + " requires the online scheduler; pass -online"
+			}
+		}
+	}
+	return ""
+}

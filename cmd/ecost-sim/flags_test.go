@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagContradictions covers every flag-combination rejection path
+// of the CLI in one table: each contradiction must produce a usage
+// message (main exits with cliutil.ExitUsage on any non-empty result),
+// and each coherent combination must pass.
+func TestFlagContradictions(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags runFlags
+		want  string // substring of the usage message; "" = coherent
+	}{
+		{"defaults", runFlags{}, ""},
+		{"online alone", runFlags{Online: true}, ""},
+		{"metrics json without metrics", runFlags{MetricsJSON: true}, "-metrics-json"},
+		{"metrics volatile without metrics", runFlags{MetricsVolatile: true}, "-metrics-volatile"},
+		{"metrics json with metrics", runFlags{Online: true, Metrics: true, MetricsJSON: true}, ""},
+		{"metrics volatile with metrics", runFlags{Online: true, Metrics: true, MetricsVolatile: true}, ""},
+		{"trace-out offline", runFlags{TraceOut: "t.json"}, "-trace-out requires the online scheduler"},
+		{"timeline-out offline", runFlags{TimelineOut: "t.txt"}, "-timeline-out requires the online scheduler"},
+		{"edp-report offline", runFlags{EDPReport: true}, "-edp-report requires the online scheduler"},
+		{"quality-report offline", runFlags{QualityReport: true}, "-quality-report requires the online scheduler"},
+		{"serve offline", runFlags{ServeAddr: ":0"}, "-serve requires the online scheduler"},
+		{"trace-out online", runFlags{Online: true, TraceOut: "t.json"}, ""},
+		{"timeline-out online", runFlags{Online: true, TimelineOut: "t.txt"}, ""},
+		{"edp-report online", runFlags{Online: true, EDPReport: true}, ""},
+		{"quality-report online", runFlags{Online: true, QualityReport: true}, ""},
+		{"serve online", runFlags{Online: true, ServeAddr: ":0"}, ""},
+		{"everything online", runFlags{
+			Online: true, Metrics: true, MetricsJSON: true, MetricsVolatile: true,
+			TraceOut: "t.json", TimelineOut: "t.txt", EDPReport: true,
+			QualityReport: true, ServeAddr: ":0",
+		}, ""},
+		// The metrics-shape check wins over the online-only check: it is
+		// about a missing -metrics, not a missing -online.
+		{"json and trace-out both wrong", runFlags{MetricsJSON: true, TraceOut: "t.json"}, "-metrics-json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.flags.contradiction()
+			if tc.want == "" && got != "" {
+				t.Fatalf("coherent flags rejected: %q", got)
+			}
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Fatalf("contradiction = %q, want substring %q", got, tc.want)
+			}
+		})
+	}
+	// Completeness guard: every online-only flag is represented in the
+	// rejection table above.
+	all := runFlags{TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
+	if got := len(all.onlineOnly()); got != 5 {
+		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
+	}
+}

@@ -9,6 +9,7 @@
 //	ecost-sim -scenario WS8 -online -nodes 2 -arrival 120
 //	ecost-sim -scenario WS4 -online -metrics
 //	ecost-sim -scenario WS4 -online -trace-out trace.json -edp-report
+//	ecost-sim -scenario WS4 -online -quality-report
 //	ecost-sim -scenario WS4 -online -serve :9090
 //
 // -metrics appends an observability snapshot of the online run (queue
@@ -22,8 +23,12 @@
 // lifecycle, map/reduce phases, per-node occupancy) loadable in
 // Perfetto or chrome://tracing; -timeline-out writes the same spans as
 // a deterministic text timeline; -edp-report prints the per-job and
-// per-class energy/EDP attribution rollup. -serve exposes all of the
-// above plus Prometheus /metrics and /debug/pprof/ over HTTP, live
+// per-class energy/EDP attribution rollup. -quality-report prints the
+// decision-quality report (classifier confusion, predicted-vs-realized
+// STP error, co-location interference, oracle regret, drift alerts)
+// built from the per-decision audit log. -serve exposes all of the
+// above plus Prometheus /metrics, the audit log as /decisions JSONL,
+// the quality report as /quality, and /debug/pprof/ over HTTP, live
 // during the run and until interrupted afterwards.
 package main
 
@@ -38,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 
+	"ecost/internal/audit"
 	"ecost/internal/cliutil"
 	"ecost/internal/cluster"
 	"ecost/internal/core"
@@ -62,7 +68,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the online run to this file (requires -online)")
 	timelineOut := flag.String("timeline-out", "", "write the deterministic span timeline of the online run to this file (requires -online)")
 	edpReport := flag.Bool("edp-report", false, "print the per-job / per-class EDP attribution report after the online run (requires -online)")
-	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /report, and /debug/pprof/ on this address during and after the online run (requires -online)")
+	qualityReport := flag.Bool("quality-report", false, "print the decision-quality report (confusion, STP error, regret, drift) after the online run (requires -online)")
+	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /report, /decisions, /quality, and /debug/pprof/ on this address during and after the online run (requires -online)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
@@ -70,24 +77,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ecost-sim:", err)
 		os.Exit(cliutil.ExitUsage)
 	}
-	if (*metricsJSON || *metricsVolatile) && !*emitMetrics {
-		cliutil.Usagef("-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well")
-	}
 	if *emitMetrics && !*online {
 		slog.Warn("-metrics instruments the online scheduler; enabling -online")
 		*online = true
 	}
-	if !*online {
-		for flagName, set := range map[string]bool{
-			"-trace-out":    *traceOut != "",
-			"-timeline-out": *timelineOut != "",
-			"-edp-report":   *edpReport,
-			"-serve":        *serveAddr != "",
-		} {
-			if set {
-				cliutil.Usagef("flag requires the online scheduler; pass -online", "flag", flagName)
-			}
-		}
+	if msg := (runFlags{
+		Online:          *online,
+		Metrics:         *emitMetrics,
+		MetricsJSON:     *metricsJSON,
+		MetricsVolatile: *metricsVolatile,
+		TraceOut:        *traceOut,
+		TimelineOut:     *timelineOut,
+		EDPReport:       *edpReport,
+		QualityReport:   *qualityReport,
+		ServeAddr:       *serveAddr,
+	}).contradiction(); msg != "" {
+		cliutil.Usagef(msg)
 	}
 
 	wl, err := core.Scenario(*scenario)
@@ -112,13 +117,18 @@ func main() {
 		if *traceOut != "" || *timelineOut != "" || *edpReport || *serveAddr != "" {
 			tr = tracing.New(eng.Clock())
 		}
+		var aud *audit.Log
+		if *qualityReport || *serveAddr != "" {
+			aud = audit.NewLog(audit.DriftConfig{})
+		}
+		qualityOracle := core.NewAuditOracle(env.Oracle)
 		var srv *http.Server
 		if *serveAddr != "" {
 			ln, err := net.Listen("tcp", *serveAddr)
 			if err != nil {
 				cliutil.Fatalf("-serve listen failed", "err", err)
 			}
-			srv = &http.Server{Handler: newServeMux(reg, tr, *metricsVolatile)}
+			srv = &http.Server{Handler: newServeMux(reg, tr, aud, qualityOracle, *metricsVolatile)}
 			go func() {
 				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 					slog.Error("observability server failed", "err", err)
@@ -126,7 +136,7 @@ func main() {
 			}()
 			fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s/\n", ln.Addr())
 		}
-		runOnline(env, wl, eng, tr, *nodes, *arrival, *seed, reg)
+		runOnline(env, wl, eng, tr, aud, *nodes, *arrival, *seed, reg)
 		if *traceOut != "" {
 			if err := writeArtifact(*traceOut, tr.WriteChromeTrace); err != nil {
 				cliutil.Fatalf("writing -trace-out failed", "err", err)
@@ -143,6 +153,12 @@ func main() {
 			fmt.Println()
 			if err := tr.Report().WriteText(os.Stdout); err != nil {
 				cliutil.Fatalf("writing -edp-report failed", "err", err)
+			}
+		}
+		if *qualityReport {
+			fmt.Println()
+			if err := aud.Quality(qualityOracle).WriteText(os.Stdout); err != nil {
+				cliutil.Fatalf("writing -quality-report failed", "err", err)
 			}
 		}
 		if *emitMetrics {
@@ -207,7 +223,7 @@ func writeArtifact(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *tracing.Tracer, nodes int, arrival float64, seed int64, reg *metrics.Registry) {
+func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *tracing.Tracer, aud *audit.Log, nodes int, arrival float64, seed int64, reg *metrics.Registry) {
 	model := mapreduce.NewModel(cluster.AtomC2758())
 	var tuner core.STP = env.LkT
 	if reg != nil {
@@ -223,6 +239,7 @@ func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *trac
 	}
 	sched.SetMetrics(reg)
 	sched.SetTracer(tr)
+	sched.SetAudit(aud)
 	rng := sim.NewRNG(seed)
 	at := 0.0
 	arrivals := make([]trace.Arrival, 0, len(wl.Jobs))

@@ -5,16 +5,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"ecost/internal/audit"
 	"ecost/internal/metrics"
 	"ecost/internal/tracing"
 )
 
 // newServeMux builds the -serve observability mux. Every handler reads
-// the live registry/tracer at request time, so a scrape during the run
-// sees the simulation's progress and a scrape after it sees the final
-// state. Either source may be nil (the flag combination didn't enable
-// it); its endpoints then answer 503 with a hint instead of panicking.
-func newServeMux(reg *metrics.Registry, tr *tracing.Tracer, volatile bool) *http.ServeMux {
+// the live registry/tracer/audit log at request time, so a scrape
+// during the run sees the simulation's progress and a scrape after it
+// sees the final state. Any source may be nil (the flag combination
+// didn't enable it); its endpoints then answer 503 with a hint instead
+// of panicking.
+func newServeMux(reg *metrics.Registry, tr *tracing.Tracer, aud *audit.Log, qo audit.Oracle, volatile bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -26,6 +28,8 @@ func newServeMux(reg *metrics.Registry, tr *tracing.Tracer, volatile bool) *http
 			"  /trace        Chrome trace_event JSON (load in Perfetto / chrome://tracing)\n"+
 			"  /timeline     deterministic text timeline of all spans\n"+
 			"  /report       per-job and per-class EDP attribution report\n"+
+			"  /decisions    per-decision audit log as JSON Lines\n"+
+			"  /quality      decision-quality report (confusion, STP error, regret, drift)\n"+
 			"  /debug/pprof/ Go runtime profiles\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -69,6 +73,31 @@ func newServeMux(reg *metrics.Registry, tr *tracing.Tracer, volatile bool) *http
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := tr.Report().WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	needAudit := func(w http.ResponseWriter) bool {
+		if !aud.Enabled() {
+			http.Error(w, "decision audit not enabled (run with -quality-report or -serve)", http.StatusServiceUnavailable)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+		if !needAudit(w) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := aud.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/quality", func(w http.ResponseWriter, r *http.Request) {
+		if !needAudit(w) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := aud.Quality(qo).WriteText(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

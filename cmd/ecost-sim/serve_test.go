@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ecost/internal/audit"
 	"ecost/internal/metrics"
 	"ecost/internal/tracing"
 )
@@ -33,7 +34,14 @@ func serveFixture(t *testing.T) *httptest.Server {
 	node := tr.Record(tracing.KindNode, "solo", nil, 0, 100, tracing.Attrs{Job: -1, Node: 0})
 	node.SetEnergy(1100)
 
-	srv := httptest.NewServer(newServeMux(reg, tr, false))
+	aud := audit.NewLog(audit.DriftConfig{})
+	aud.Submit(0, "wc", 5, "C", "C", 0)
+	aud.Place(0, 0, 10, audit.BranchReserve, -1)
+	aud.Tune(0, "LkT", "m4f2.4", audit.TuneSolo, audit.Expectation{EDP: 5000, TimeS: 90, PowerW: 10})
+	aud.AddEnergy(0, 900)
+	aud.Complete(0, 100)
+
+	srv := httptest.NewServer(newServeMux(reg, tr, aud, nil, false))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -131,11 +139,45 @@ func TestServePprofProfile(t *testing.T) {
 	}
 }
 
+// TestServeDecisionsAndQuality covers the audit endpoints: /decisions
+// streams the log as JSON Lines, /quality renders the decision-quality
+// report (with empty oracle sections — the fixture passes no oracle).
+func TestServeDecisionsAndQuality(t *testing.T) {
+	srv := serveFixture(t)
+	code, body := get(t, srv.URL+"/decisions")
+	if code != http.StatusOK {
+		t.Fatalf("/decisions status %d: %s", code, body)
+	}
+	var dec struct {
+		Job    int    `json:"job"`
+		App    string `json:"app"`
+		Branch string `json:"branch"`
+		Done   bool   `json:"done"`
+	}
+	line := strings.TrimSpace(body)
+	if err := json.Unmarshal([]byte(line), &dec); err != nil {
+		t.Fatalf("/decisions line is not JSON: %v\n%s", err, line)
+	}
+	if dec.Job != 0 || dec.App != "wc" || dec.Branch != "reserve" || !dec.Done {
+		t.Errorf("/decisions record mismatch: %+v", dec)
+	}
+
+	code, body = get(t, srv.URL+"/quality")
+	if code != http.StatusOK {
+		t.Fatalf("/quality status %d: %s", code, body)
+	}
+	for _, want := range []string{"decision quality:", "classifier confusion", "drift (CUSUM"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/quality missing %q in:\n%s", want, body)
+		}
+	}
+}
+
 // TestServeDisabledSources checks the 503 hints when a source is off.
 func TestServeDisabledSources(t *testing.T) {
-	srv := httptest.NewServer(newServeMux(nil, nil, false))
+	srv := httptest.NewServer(newServeMux(nil, nil, nil, nil, false))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/trace", "/timeline", "/report"} {
+	for _, path := range []string{"/metrics", "/trace", "/timeline", "/report", "/decisions", "/quality"} {
 		if code, _ := get(t, srv.URL+path); code != http.StatusServiceUnavailable {
 			t.Errorf("%s with nil sources: status %d, want 503", path, code)
 		}

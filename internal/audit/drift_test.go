@@ -1,0 +1,95 @@
+package audit
+
+import "testing"
+
+func TestCusumQuietOnStableStream(t *testing.T) {
+	p := cusum{cfg: DriftConfig{Delta: 60, Lambda: 600, MinSamples: 4}}
+	// Healthy scatter around 40% with excursions below mean+Delta.
+	for i := 0; i < 200; i++ {
+		x := 30.0
+		if i%3 == 0 {
+			x = 60
+		}
+		if _, fired := p.observe(x); fired {
+			t.Fatalf("false alarm at sample %d", i+1)
+		}
+	}
+}
+
+func TestCusumFiresOnUpwardShift(t *testing.T) {
+	p := cusum{cfg: DriftConfig{Delta: 60, Lambda: 600, MinSamples: 4}}
+	for i := 0; i < 20; i++ {
+		if _, fired := p.observe(40); fired {
+			t.Fatalf("false alarm during healthy phase at %d", i+1)
+		}
+	}
+	// The database goes stale: errors jump to thousands of percent.
+	fired := false
+	var a Alert
+	for i := 0; i < 10 && !fired; i++ {
+		a, fired = p.observe(3000)
+	}
+	if !fired {
+		t.Fatal("no alarm after upward shift")
+	}
+	if a.Sample < 21 || a.Stat <= 600 || a.Mean <= 40 {
+		t.Fatalf("alert state: %+v", a)
+	}
+	// State reset: the detector re-arms and needs warmup again.
+	if n, mean, stat := p.state(); n != 0 || mean != 0 || stat != 0 {
+		t.Fatalf("state after alarm: n=%d mean=%g stat=%g", n, mean, stat)
+	}
+	if _, f := p.observe(5000); f {
+		t.Fatal("alarmed inside warmup after reset")
+	}
+}
+
+func TestCusumWarmup(t *testing.T) {
+	p := cusum{cfg: DriftConfig{Delta: 1, Lambda: 1, MinSamples: 5}}
+	for i := 0; i < 4; i++ {
+		if _, fired := p.observe(1e6); fired {
+			t.Fatalf("alarmed during warmup at sample %d", i+1)
+		}
+	}
+	if _, fired := p.observe(1e6); !fired {
+		t.Fatal("no alarm once warmup satisfied")
+	}
+}
+
+func TestNewLogDefaultsFill(t *testing.T) {
+	l := NewLog(DriftConfig{})
+	def := DefaultDriftConfig()
+	if l.detector.cfg != def {
+		t.Fatalf("zero config not defaulted: %+v", l.detector.cfg)
+	}
+	l2 := NewLog(DriftConfig{Delta: 1, Lambda: 2, MinSamples: 3})
+	if l2.detector.cfg != (DriftConfig{Delta: 1, Lambda: 2, MinSamples: 3}) {
+		t.Fatalf("explicit config overridden: %+v", l2.detector.cfg)
+	}
+}
+
+func TestDriftAlertsSurfaceInCompleteAndQuality(t *testing.T) {
+	l := NewLog(DriftConfig{Delta: 10, Lambda: 50, MinSamples: 2})
+	var alerts []Alert
+	for i := 0; i < 4; i++ {
+		l.Submit(i, "nb", 5, "C", "C", 0)
+		l.Place(i, 0, 0, BranchReserve, -1)
+		l.Tune(i, "LkT", "cfg", TuneSolo, Expectation{EDP: 1}) // realized ≫ predicted
+		l.AddEnergy(i, 100)
+		_, a := l.Complete(i, float64(10+i))
+		alerts = append(alerts, a...)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no drift alerts from Complete")
+	}
+	if got := l.Alerts(); len(got) != len(alerts) {
+		t.Fatalf("Alerts() = %d, want %d", len(got), len(alerts))
+	}
+	r := l.Quality(nil)
+	if len(r.Drift.Alerts) != len(alerts) {
+		t.Fatalf("report alerts = %d, want %d", len(r.Drift.Alerts), len(alerts))
+	}
+	if r.Drift.Config.Lambda != 50 {
+		t.Fatalf("report config: %+v", r.Drift.Config)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"ecost/internal/audit"
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
 	"ecost/internal/power"
@@ -52,6 +53,10 @@ type OnlineScheduler struct {
 	tracer    *tracing.Tracer
 	traced    map[int]*jobSpans
 	nodeSpans []*tracing.Span
+
+	// aud records every decision joined with its realized outcome
+	// (nil = auditing off; see SetAudit).
+	aud *audit.Log
 }
 
 // jobSpans tracks one in-flight job's open spans plus the model's
@@ -81,6 +86,12 @@ type schedMetrics struct {
 	energyIdle   *metrics.Gauge
 	energySolo   *metrics.Gauge
 	energyPaired *metrics.Gauge
+
+	// Audit mirrors (registered by auditMetrics once both a registry
+	// and an audit log are attached).
+	driftAlert  *metrics.Gauge   // stp.drift_alert: 0 healthy, latched 1 on alarm
+	driftAlerts *metrics.Counter // audit.drift_alerts: alarms fired
+	relErr      map[string]*metrics.Histogram
 }
 
 // waitFor returns the per-class wait-latency histogram.
@@ -89,6 +100,17 @@ func (m *schedMetrics) waitFor(c workloads.Class) *metrics.Histogram {
 	if !ok {
 		h = m.reg.Histogram("sched.wait_s."+c.String(), metrics.ExpBuckets(16, 2, 14))
 		m.wait[c] = h
+	}
+	return h
+}
+
+// relErrFor returns the per-predicted-class STP relative-error
+// histogram (buckets track audit.ErrBuckets: 5% doubling to 1280%).
+func (m *schedMetrics) relErrFor(class string) *metrics.Histogram {
+	h, ok := m.relErr[class]
+	if !ok {
+		h = m.reg.Histogram("audit.rel_err_pct."+class, metrics.ExpBuckets(5, 2, 9))
+		m.relErr[class] = h
 	}
 	return h
 }
@@ -119,8 +141,31 @@ func (s *OnlineScheduler) SetMetrics(reg *metrics.Registry) {
 		energyIdle:   reg.Gauge("power.energy_j.idle"),
 		energySolo:   reg.Gauge("power.energy_j.solo"),
 		energyPaired: reg.Gauge("power.energy_j.paired"),
+		relErr:       map[string]*metrics.Histogram{},
 	}
 	s.queue.Metrics = reg
+	s.auditMetrics()
+}
+
+// SetAudit attaches a decision-audit log to the scheduler. Call before
+// the first Submit; pass nil to disable. When a metrics registry is
+// also attached, joins and drift alarms are mirrored into it
+// (per-class audit.rel_err_pct histograms, the stp.drift_alert gauge,
+// the audit.drift_alerts counter, and EvDrift events).
+func (s *OnlineScheduler) SetAudit(l *audit.Log) {
+	s.aud = l
+	s.auditMetrics()
+}
+
+// auditMetrics pre-registers the audit mirror instruments once both an
+// audit log and a registry are attached (either attachment order), so
+// the drift gauge is visible at 0 on healthy runs.
+func (s *OnlineScheduler) auditMetrics() {
+	if s.aud == nil || s.met == nil {
+		return
+	}
+	s.met.driftAlert = s.met.reg.Gauge("stp.drift_alert")
+	s.met.driftAlerts = s.met.reg.Counter("audit.drift_alerts")
 }
 
 // SetTracer attaches a span tracer to the scheduler. Call before the
@@ -144,6 +189,9 @@ func (s *OnlineScheduler) SetTracer(tr *tracing.Tracer) {
 
 // Tracer returns the attached span tracer (nil when tracing is off).
 func (s *OnlineScheduler) Tracer() *tracing.Tracer { return s.tracer }
+
+// Audit returns the attached decision-audit log (nil when off).
+func (s *OnlineScheduler) Audit() *audit.Log { return s.aud }
 
 // rollOccupancy closes a node's current occupancy span and opens the
 // next one — called whenever the resident set changes (after the
@@ -240,6 +288,10 @@ func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 			Arrived: at,
 		}
 		s.queue.Push(j)
+		// app.Class is ground truth the prediction path never sees;
+		// recording it next to the Classify verdict is what makes the
+		// confusion matrix possible.
+		s.aud.Submit(id, app.Name, sizeGB, app.Class.String(), j.Class.String(), at)
 		if s.met != nil {
 			s.met.submitted.Inc()
 			s.met.reg.Emit(metrics.Event{
@@ -314,19 +366,23 @@ func (s *OnlineScheduler) accrueEnergy() {
 		watts += w
 		s.phases.Add(len(n.residents), w*dt)
 		if s.tracer != nil {
-			// Attribute the node's joules to its occupancy span in
-			// full, and in equal shares to the resident jobs' run
-			// spans — so node spans re-integrate to the cluster bill
-			// and run spans to its solo+co-located share.
-			e := w * dt
-			s.nodeSpans[n.id].AddEnergy(e)
-			if len(n.residents) > 0 {
-				share := e / float64(len(n.residents))
-				for _, r := range n.residents {
+			// Attribute the node's joules to its occupancy span in full,
+			// so node spans re-integrate to the cluster bill.
+			s.nodeSpans[n.id].AddEnergy(w * dt)
+		}
+		if (s.tracer != nil || s.aud != nil) && len(n.residents) > 0 {
+			// Equal shares to the resident jobs — run spans carry the
+			// solo+co-located share of the bill, and the audit log uses
+			// the *same* division, so its realized join is bit-identical
+			// to tracing's JobReport.EnergyJ.
+			share := w * dt / float64(len(n.residents))
+			for _, r := range n.residents {
+				if s.tracer != nil {
 					if js := s.traced[r.job.ID]; js != nil {
 						js.run.AddEnergy(share)
 					}
 				}
+				s.aud.AddEnergy(r.job.ID, share)
 			}
 		}
 	}
@@ -375,6 +431,8 @@ func (s *OnlineScheduler) dispatch() {
 			return // cluster full
 		}
 		var j *Job
+		branch := audit.BranchReserve
+		leapOver := -1
 		if len(target.residents) == 1 {
 			running := target.residents[0].job.Class
 			head := s.queue.Head()
@@ -385,6 +443,11 @@ func (s *OnlineScheduler) dispatch() {
 					panic(err)
 				}
 				j = taken
+				branch = audit.BranchPairHead
+				if head != nil && j.ID != head.ID {
+					branch = audit.BranchPairLeap
+					leapOver = head.ID
+				}
 				if s.met != nil {
 					now := s.Engine.Now()
 					s.met.pairs.Inc()
@@ -393,11 +456,11 @@ func (s *OnlineScheduler) dispatch() {
 						At: now, Kind: metrics.EvPair, Job: j.ID, Node: target.id,
 						Detail: fmt.Sprintf("partner=%s running=%s", j.Class, running),
 					})
-					if head != nil && j.ID != head.ID {
+					if branch == audit.BranchPairLeap {
 						s.met.leaps.Inc()
 						s.met.reg.Emit(metrics.Event{
 							At: now, Kind: metrics.EvLeap, Job: j.ID, Node: target.id,
-							Detail: fmt.Sprintf("over=%d", head.ID),
+							Detail: fmt.Sprintf("over=%d", leapOver),
 						})
 					}
 				}
@@ -416,7 +479,7 @@ func (s *OnlineScheduler) dispatch() {
 			return
 		}
 		s.sampleDepth()
-		s.place(target, j)
+		s.place(target, j, branch, leapOver)
 	}
 }
 
@@ -426,9 +489,9 @@ func (s *OnlineScheduler) dispatch() {
 // (§5). The resident application's frequency and mapper slots are
 // re-tuned live; its HDFS block size stays as loaded (data layout is
 // fixed once written).
-func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
+func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leapOver int) {
 	s.accrueEnergy()
-	cfg := s.tuneFor(n, j)
+	cfg, ti := s.tuneFor(n, j)
 	now := s.Engine.Now()
 	if s.met != nil {
 		s.met.waitFor(j.Class).Observe(now - j.Arrived)
@@ -436,6 +499,21 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
 	var partner *onlineJob
 	if len(n.residents) == 1 {
 		partner = n.residents[0]
+	}
+	if s.aud != nil {
+		s.aud.Place(j.ID, n.id, now, branch, leapOver)
+		s.aud.Tune(j.ID, s.Tuner.Name(), cfg.String(), ti.path, ti.exp)
+		if partner != nil {
+			var pred audit.Expectation
+			if ti.path == audit.TunePair {
+				// The pair forecast only holds when the pair tuning was
+				// actually applied; a solo fallback leaves it zero (no
+				// join, no drift sample).
+				pred = ti.exp
+				s.aud.Retune(partner.job.ID, partner.cfg.String())
+			}
+			s.aud.Paired(partner.job.ID, j.ID, n.id, now, branch, pred)
+		}
 	}
 	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
 	if s.tracer != nil {
@@ -461,12 +539,21 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job) {
 	s.reschedule(n)
 }
 
+// tuneInfo carries what the audit log wants to know about a tuning
+// decision alongside the chosen configuration.
+type tuneInfo struct {
+	path audit.TunePath
+	exp  audit.Expectation
+}
+
 // tuneFor picks the new job's configuration, adjusting the resident's
 // frequency and mapper count to the pair-tuned values when co-locating.
-func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
+// The returned tuneInfo records which path fired and the tuner's own
+// outcome forecast (zero when the technique exposes none).
+func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) (mapreduce.Config, tuneInfo) {
 	if len(n.residents) == 1 {
 		resident := n.residents[0]
-		pairCfg, err := s.Tuner.PredictBest(resident.job.Obs, j.Obs)
+		pairCfg, exp, err := predictExpected(s.Tuner, resident.job.Obs, j.Obs)
 		if err == nil && pairCfg[0].Mappers+pairCfg[1].Mappers <= s.Model.Spec.Cores {
 			resident.cfg.Freq = pairCfg[0].Freq
 			resident.cfg.Mappers = pairCfg[0].Mappers
@@ -478,12 +565,13 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 				})
 			}
 			s.traceTune(n, j, pairCfg[1], fmt.Sprintf("pair resident=%d cfg=%v", resident.job.ID, pairCfg[0]))
-			return pairCfg[1]
+			return pairCfg[1], tuneInfo{path: audit.TunePair, exp: audit.Expectation(exp)}
 		}
 	}
-	cfg, err := PredictSoloBest(s.Tuner, j.Obs, s.DB)
+	cfg, soloExp, err := PredictSoloBestExpected(s.Tuner, j.Obs, s.DB)
 	if err != nil {
 		cfg = NTConfig(s.Model.Spec.Cores / s.MaxPerNode)
+		soloExp = PairExpectation{}
 	}
 	free := s.Model.Spec.Cores
 	for _, r := range n.residents {
@@ -503,7 +591,7 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) mapreduce.Config {
 		})
 	}
 	s.traceTune(n, j, cfg, "solo")
-	return cfg
+	return cfg, tuneInfo{path: audit.TuneSolo, exp: audit.Expectation(soloExp)}
 }
 
 // traceTune records the (instantaneous in sim-time) STP tuning decision
@@ -632,6 +720,23 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 				At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: n.id,
 				Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
 			})
+		}
+		if s.aud != nil {
+			now := s.Engine.Now()
+			joins, alerts := s.aud.Complete(finisher.job.ID, now)
+			if s.met != nil {
+				for _, jn := range joins {
+					s.met.relErrFor(jn.Class).Observe(jn.RelErrPct)
+				}
+				for _, a := range alerts {
+					s.met.driftAlerts.Inc()
+					s.met.driftAlert.Set(1)
+					s.met.reg.Emit(metrics.Event{
+						At: now, Kind: metrics.EvDrift, Job: finisher.job.ID, Node: n.id,
+						Detail: fmt.Sprintf("cusum stat=%.1f mean=%.1f%% sample=%d", a.Stat, a.Mean, a.Sample),
+					})
+				}
+			}
 		}
 		s.traceComplete(n, finisher)
 		n.event = nil

@@ -60,6 +60,53 @@ type PairEDPPredictor interface {
 	PredictBestEDP(a, b Observation) ([2]mapreduce.Config, float64, error)
 }
 
+// PairExpectation is a technique's full outcome forecast at its chosen
+// configuration: pair EDP in J·s, makespan seconds, average watts. Its
+// field layout matches audit.Expectation so the scheduler converts by
+// plain struct conversion.
+type PairExpectation struct {
+	EDP    float64
+	TimeS  float64
+	PowerW float64
+}
+
+// ExpectingSTP is implemented by techniques that expose a full outcome
+// forecast alongside the predicted configuration — the decision-audit
+// log joins it against the realized outcome at completion.
+type ExpectingSTP interface {
+	PredictBestExpected(a, b Observation) ([2]mapreduce.Config, PairExpectation, error)
+}
+
+// PredictBestExpected implements ExpectingSTP: the lookup table stores
+// the best-resembling known pair's full measured outcome alongside its
+// optimal configuration, so LkT's forecast comes for free.
+func (s *LkTSTP) PredictBestExpected(a, b Observation) ([2]mapreduce.Config, PairExpectation, error) {
+	best, err := s.DB.LookupBest(a, b)
+	if err != nil {
+		return [2]mapreduce.Config{}, PairExpectation{}, err
+	}
+	return best.Cfg, PairExpectation{
+		EDP:    best.Out.EDP,
+		TimeS:  best.Out.Makespan,
+		PowerW: best.Out.AvgPower,
+	}, nil
+}
+
+// predictExpected dispatches to the richest prediction interface the
+// technique implements, degrading gracefully: full forecast, EDP-only,
+// or configuration-only (zero expectation).
+func predictExpected(t STP, a, b Observation) ([2]mapreduce.Config, PairExpectation, error) {
+	switch p := t.(type) {
+	case ExpectingSTP:
+		return p.PredictBestExpected(a, b)
+	case PairEDPPredictor:
+		cfg, edp, err := p.PredictBestEDP(a, b)
+		return cfg, PairExpectation{EDP: edp}, err
+	}
+	cfg, err := t.PredictBest(a, b)
+	return cfg, PairExpectation{}, err
+}
+
 // MeteredSTP wraps any STP technique with observability: prediction
 // counts, the per-prediction candidate-scan size (the deterministic
 // latency proxy), wall-clock prediction latency (volatile — real time
@@ -102,34 +149,34 @@ func (s *MeteredSTP) Name() string { return s.Inner.Name() }
 
 // PredictBest implements STP, recording telemetry around the inner call.
 func (s *MeteredSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
+	cfg, _, err := s.PredictBestExpected(a, b)
+	return cfg, err
+}
+
+// PredictBestExpected implements ExpectingSTP, forwarding the inner
+// technique's forecast (zero when it exposes none) and recording the
+// same telemetry as PredictBest — the two paths are one code path, so
+// an audited run predicts identically to an unaudited one.
+func (s *MeteredSTP) PredictBestExpected(a, b Observation) ([2]mapreduce.Config, PairExpectation, error) {
 	start := time.Now()
-	var cfg [2]mapreduce.Config
-	var predictedEDP float64
-	var havePrediction bool
-	var err error
-	if p, ok := s.Inner.(PairEDPPredictor); ok {
-		cfg, predictedEDP, err = p.PredictBestEDP(a, b)
-		havePrediction = err == nil
-	} else {
-		cfg, err = s.Inner.PredictBest(a, b)
-	}
+	cfg, exp, err := predictExpected(s.Inner, a, b)
 	s.wall.Observe(float64(time.Since(start).Nanoseconds()))
 	if err != nil {
 		s.failures.Inc()
-		return cfg, err
+		return cfg, exp, err
 	}
 	s.predictions.Inc()
 	s.evals.Observe(float64(s.scanSize()))
-	if havePrediction && s.Model != nil && predictedEDP > 0 {
+	if s.Model != nil && exp.EDP > 0 {
 		co, err2 := s.Model.Pair(
 			mapreduce.RunSpec{App: a.App, DataMB: a.SizeGB * 1024, Cfg: cfg[0]},
 			mapreduce.RunSpec{App: b.App, DataMB: b.SizeGB * 1024, Cfg: cfg[1]},
 		)
 		if err2 == nil && co.EDP > 0 {
-			s.edpErr.Observe(100 * math.Abs(predictedEDP-co.EDP) / co.EDP)
+			s.edpErr.Observe(100 * math.Abs(exp.EDP-co.EDP) / co.EDP)
 		}
 	}
-	return cfg, nil
+	return cfg, exp, nil
 }
 
 // scanSize is the deterministic work a single prediction performs: the
@@ -418,14 +465,29 @@ func (s *MLMSTP) argminChunk(m ml.Regressor, rows [][]float64, fa, fb []float64,
 // pairing): the observation is paired with itself at a token 1-mapper
 // slot and the primary slot's knobs are returned.
 func PredictSoloBest(s STP, o Observation, db *Database) (mapreduce.Config, error) {
+	cfg, _, err := PredictSoloBestExpected(s, o, db)
+	return cfg, err
+}
+
+// PredictSoloBestExpected is PredictSoloBest plus the forecast backing
+// it: the nearest known application's solo-optimal measured outcome.
+// The forecast is for the database's conditions (the neighbour's app
+// and size, run alone at the returned configuration), so its error
+// against the realized outcome measures how well the database still
+// resembles the live workload — the decision-audit drift signal.
+func PredictSoloBestExpected(s STP, o Observation, db *Database) (mapreduce.Config, PairExpectation, error) {
 	// LkT has a natural solo answer: the nearest known application's
 	// solo-optimal configuration.
 	near := db.Classifier().NearestKnown(o)
 	best, err := db.Oracle().BestSolo(near.App, near.SizeGB*1024)
 	if err != nil {
-		return mapreduce.Config{}, err
+		return mapreduce.Config{}, PairExpectation{}, err
 	}
-	return best.Cfg, nil
+	return best.Cfg, PairExpectation{
+		EDP:    best.Out.EDP,
+		TimeS:  best.Out.Makespan,
+		PowerW: best.Out.AvgPower,
+	}, nil
 }
 
 // PredictRow returns the technique's baseline-relative EDP estimate for

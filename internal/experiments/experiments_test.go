@@ -343,6 +343,65 @@ func TestOnlineTraceObserved(t *testing.T) {
 	}
 }
 
+func TestOnlineQualityObserved(t *testing.T) {
+	tbl, data, q, aud, err := OnlineQualityObserved(freshRunEnv(t), onlineSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Jobs != data.Jobs || q.Completed != data.Jobs {
+		t.Fatalf("quality covers %d/%d jobs, run completed %d", q.Jobs, q.Completed, data.Jobs)
+	}
+	if len(q.Confusion) == 0 || len(q.Classes) == 0 {
+		t.Fatal("confusion matrix empty")
+	}
+	if q.Joined == 0 || len(q.Hist) == 0 {
+		t.Fatalf("no prediction joins under the lookup-table tuner (joined=%d)", q.Joined)
+	}
+	if len(q.Regret) == 0 {
+		t.Error("no oracle regret rows for a pairing workload")
+	}
+	for _, row := range q.Regret {
+		if row.RegretPct < -1e-6 && row.RealEDP < row.OracleEDP*(1-1e-9) {
+			// Regret may legitimately be negative (realized union window
+			// can beat the oracle's simultaneous-start assumption), so
+			// only sanity-check the arithmetic here.
+			if got := 100 * (row.RealEDP - row.OracleEDP) / row.OracleEDP; math.Abs(got-row.RegretPct) > 1e-9 {
+				t.Errorf("regret row arithmetic off: %+v", row)
+			}
+		}
+	}
+	if got := len(aud.Decisions()); got != data.Jobs {
+		t.Fatalf("audit log has %d decisions, want %d", got, data.Jobs)
+	}
+	var buf strings.Builder
+	if err := aud.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != data.Jobs {
+		t.Errorf("JSONL export has %d lines, want %d", lines, data.Jobs)
+	}
+	for _, want := range []string{"classifier accuracy (%)", "prediction joins", "drift alerts"} {
+		found := false
+		for _, row := range tbl.Rows {
+			found = found || row[0] == want
+		}
+		if !found {
+			t.Errorf("table missing the %q row", want)
+		}
+	}
+	// The untraced, unaudited run is not perturbed by auditing — but it
+	// is tuned by REPTree, so compare against an LkT-tuned baseline via
+	// determinism of the quality run itself instead: rerun and require
+	// identical realized totals.
+	_, again, q2, _, err := OnlineQualityObserved(freshRunEnv(t), onlineSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EDP != data.EDP || q2.Joined != q.Joined || len(q2.Regret) != len(q.Regret) {
+		t.Errorf("quality run not reproducible: %+v vs %+v", again, data)
+	}
+}
+
 func TestTableWriteCSV(t *testing.T) {
 	tbl := Table{Title: "T", Header: []string{"a", "b"}}
 	tbl.AddRow(1, "x,y")

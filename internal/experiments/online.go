@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"ecost/internal/audit"
 	"ecost/internal/core"
 	"ecost/internal/sim"
 	"ecost/internal/trace"
@@ -25,7 +26,7 @@ type OnlineData struct {
 // scenarios. It reports cluster EDP and queueing behaviour (the head
 // reservation keeps the maximum wait bounded).
 func OnlineTrace(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, error) {
-	tbl, data, _, err := onlineTrace(env, spec, nodes, false)
+	tbl, data, _, err := onlineTrace(env, spec, nodes, false, env.REPTree, nil)
 	return tbl, data, err
 }
 
@@ -35,10 +36,33 @@ func OnlineTrace(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, error
 // run is identical to the untraced one (tracing observes the same
 // event loop without perturbing it).
 func OnlineTraceObserved(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, tracing.Report, error) {
-	return onlineTrace(env, spec, nodes, true)
+	return onlineTrace(env, spec, nodes, true, env.REPTree, nil)
 }
 
-func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool) (Table, OnlineData, tracing.Report, error) {
+// OnlineQualityObserved is OnlineTrace with the decision-audit log
+// attached, returning the aggregated quality report (classifier
+// confusion, STP error histograms, interference, oracle regret, drift)
+// alongside the raw log for JSONL export. The run is tuned by the
+// lookup table rather than REPTree: LkT is the technique that exposes
+// an outcome forecast, so the predicted-vs-realized joins the report is
+// about actually populate.
+func OnlineQualityObserved(env *Env, spec trace.Spec, nodes int) (Table, OnlineData, audit.QualityReport, *audit.Log, error) {
+	aud := audit.NewLog(audit.DriftConfig{})
+	tbl, data, _, err := onlineTrace(env, spec, nodes, false, env.LkT, aud)
+	if err != nil {
+		return tbl, data, audit.QualityReport{}, nil, err
+	}
+	q := aud.Quality(core.NewAuditOracle(env.Oracle))
+	tbl.AddRow("classifier accuracy (%)", 100*q.Accuracy)
+	tbl.AddRow("prediction joins", q.Joined)
+	tbl.AddRow("oracle regret rows", len(q.Regret))
+	tbl.AddRow("drift alerts", len(q.Drift.Alerts))
+	tbl.Notes = append(tbl.Notes,
+		"quality rows join every LkT forecast with its realized outcome (full report: ecost-sim -online -quality-report)")
+	return tbl, data, q, aud, nil
+}
+
+func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool, tuner core.STP, aud *audit.Log) (Table, OnlineData, tracing.Report, error) {
 	var data OnlineData
 	var rep tracing.Report
 	arrivals, err := trace.Generate(spec)
@@ -46,7 +70,7 @@ func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool) (Table, Onli
 		return Table{}, data, rep, err
 	}
 	eng := sim.NewEngine()
-	sched, err := core.NewOnlineScheduler(eng, env.Model, env.DB, env.REPTree, env.Profiler, nodes)
+	sched, err := core.NewOnlineScheduler(eng, env.Model, env.DB, tuner, env.Profiler, nodes)
 	if err != nil {
 		return Table{}, data, rep, err
 	}
@@ -55,6 +79,7 @@ func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool) (Table, Onli
 		tr = tracing.New(eng.Clock())
 		sched.SetTracer(tr)
 	}
+	sched.SetAudit(aud)
 	for _, a := range arrivals {
 		sched.Submit(a.App, a.SizeGB, a.At)
 	}

@@ -16,6 +16,7 @@ const (
 	EvPair                      // a partner was co-located next to a resident
 	EvTune                      // a (re-)tuning decision was applied
 	EvComplete                  // a job finished
+	EvDrift                     // the STP drift detector fired an alarm
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +34,8 @@ func (k EventKind) String() string {
 		return "tune"
 	case EvComplete:
 		return "complete"
+	case EvDrift:
+		return "drift"
 	}
 	return "unknown"
 }

@@ -19,10 +19,14 @@ import (
 //   - series    → a gauge holding the latest sample
 //
 // Metric names are prefixed "ecost_" and sanitized to the Prometheus
-// grammar (dots and other separators become underscores). Like every
-// snapshot renderer, output order is fixed (name-sorted within each
-// section), so the exposition is deterministic for a deterministic
-// snapshot.
+// grammar (dots and other separators become underscores). Sanitizing
+// can merge distinct instrument names ("a.b" and "a+b" both become
+// ecost_a_b), and a summary's implicit _sum/_count samples can land on
+// a sibling instrument's name; the renderer disambiguates both cases
+// with a deterministic _2, _3, ... suffix so the exposition never emits
+// duplicate families or samples. Like every snapshot renderer, output
+// order is fixed (name-sorted within each section), so the exposition
+// is deterministic for a deterministic snapshot.
 
 // PromName sanitizes an instrument name into a Prometheus metric name.
 func PromName(name string) string {
@@ -47,25 +51,63 @@ func promEscapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// promNamer hands out collision-free family names. Every sample name a
+// family will emit (the family name itself plus any implicit suffixes
+// like a summary's _sum/_count) is reserved; a later instrument whose
+// sanitized name lands on a reserved one gets the next free _N variant.
+// Render order is fixed, so the suffixes are deterministic.
+type promNamer struct {
+	taken map[string]bool
+}
+
+func (n *promNamer) claim(instrument string, suffixes ...string) string {
+	if n.taken == nil {
+		n.taken = make(map[string]bool)
+	}
+	base := PromName(instrument)
+	cand := base
+	for i := 2; n.conflicts(cand, suffixes); i++ {
+		cand = fmt.Sprintf("%s_%d", base, i)
+	}
+	n.taken[cand] = true
+	for _, sfx := range suffixes {
+		n.taken[cand+sfx] = true
+	}
+	return cand
+}
+
+func (n *promNamer) conflicts(cand string, suffixes []string) bool {
+	if n.taken[cand] {
+		return true
+	}
+	for _, sfx := range suffixes {
+		if n.taken[cand+sfx] {
+			return true
+		}
+	}
+	return false
+}
+
 // WritePrometheus renders the snapshot as Prometheus text exposition.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	var namer promNamer
 	head := func(name, src, typ string) {
 		fmt.Fprintf(bw, "# HELP %s ecost instrument %s\n", name, promEscapeHelp(src))
 		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
 	}
 	for _, c := range s.Counters {
-		name := PromName(c.Name)
+		name := namer.claim(c.Name)
 		head(name, c.Name, "counter")
 		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
 	}
 	for _, g := range s.Gauges {
-		name := PromName(g.Name)
+		name := namer.claim(g.Name)
 		head(name, g.Name, "gauge")
 		fmt.Fprintf(bw, "%s %s\n", name, fmtF(g.Value))
 	}
 	for _, h := range s.Histograms {
-		name := PromName(h.Name)
+		name := namer.claim(h.Name, "_sum", "_count")
 		head(name, h.Name, "summary")
 		if h.Count > 0 {
 			fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", name, fmtF(h.P50))
@@ -76,7 +118,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
 	}
 	for _, se := range s.Series {
-		name := PromName(se.Name)
+		name := namer.claim(se.Name)
 		head(name, se.Name+" (latest sample)", "gauge")
 		fmt.Fprintf(bw, "%s %s\n", name, fmtF(se.Last))
 	}

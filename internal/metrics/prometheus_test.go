@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
 	"regexp"
 	"strconv"
 	"strings"
@@ -27,12 +28,13 @@ var (
 	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\S+)$`)
 )
 
-// parsePrometheus is a strict parser for the subset of the text
-// exposition format 0.0.4 the renderer emits. It fails the test on any
-// line that is not a well-formed HELP, TYPE, or sample line, on samples
-// appearing outside their family, and on duplicate samples.
-func parsePrometheus(t *testing.T, text string) []promFamily {
-	t.Helper()
+// parsePromText is a strict parser for the subset of the text
+// exposition format 0.0.4 the renderer emits. It rejects any line that
+// is not a well-formed HELP, TYPE, or sample line, samples appearing
+// outside their family, duplicate families, and duplicate samples. The
+// non-fatal error form lets the fuzz target report the exposition that
+// broke it alongside the parse error.
+func parsePromText(text string) ([]promFamily, error) {
 	var fams []promFamily
 	var cur *promFamily
 	helpSeen := map[string]bool{}
@@ -46,56 +48,66 @@ func parsePrometheus(t *testing.T, text string) []promFamily {
 			rest := strings.TrimPrefix(line, "# HELP ")
 			name, _, ok := strings.Cut(rest, " ")
 			if !ok || !promMetricRe.MatchString(name) {
-				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", ln+1, line)
 			}
 			if helpSeen[name] {
-				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", ln+1, name)
 			}
 			helpSeen[name] = true
 		case strings.HasPrefix(line, "# TYPE "):
 			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
 			if len(fields) != 2 || !promMetricRe.MatchString(fields[0]) {
-				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
 			}
 			switch fields[1] {
 			case "counter", "gauge", "summary", "histogram", "untyped":
 			default:
-				t.Fatalf("line %d: unknown type %q", ln+1, fields[1])
+				return nil, fmt.Errorf("line %d: unknown type %q", ln+1, fields[1])
 			}
 			if !helpSeen[fields[0]] {
-				t.Fatalf("line %d: TYPE for %s without preceding HELP", ln+1, fields[0])
+				return nil, fmt.Errorf("line %d: TYPE for %s without preceding HELP", ln+1, fields[0])
 			}
 			fams = append(fams, promFamily{name: fields[0], typ: fields[1]})
 			cur = &fams[len(fams)-1]
 		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+			return nil, fmt.Errorf("line %d: unexpected comment %q", ln+1, line)
 		default:
 			m := promSampleRe.FindStringSubmatch(line)
 			if m == nil {
-				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+				return nil, fmt.Errorf("line %d: malformed sample: %q", ln+1, line)
 			}
 			name, labels, raw := m[1], m[2], m[3]
 			v, err := strconv.ParseFloat(raw, 64)
 			if err != nil {
-				t.Fatalf("line %d: bad value %q: %v", ln+1, raw, err)
+				return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, raw, err)
 			}
 			if cur == nil {
-				t.Fatalf("line %d: sample %q before any TYPE", ln+1, name)
+				return nil, fmt.Errorf("line %d: sample %q before any TYPE", ln+1, name)
 			}
 			base := cur.name
 			if name != base && name != base+"_sum" && name != base+"_count" {
-				t.Fatalf("line %d: sample %q outside family %q", ln+1, name, base)
+				return nil, fmt.Errorf("line %d: sample %q outside family %q", ln+1, name, base)
 			}
 			if (name == base+"_sum" || name == base+"_count") && cur.typ != "summary" && cur.typ != "histogram" {
-				t.Fatalf("line %d: %s sample in %s family", ln+1, name, cur.typ)
+				return nil, fmt.Errorf("line %d: %s sample in %s family", ln+1, name, cur.typ)
 			}
 			key := name + labels
 			if seen[key] {
-				t.Fatalf("line %d: duplicate sample %q", ln+1, key)
+				return nil, fmt.Errorf("line %d: duplicate sample %q", ln+1, key)
 			}
 			seen[key] = true
 			cur.samples = append(cur.samples, promSample{name: name, labels: labels, value: v})
 		}
+	}
+	return fams, nil
+}
+
+// parsePrometheus is the test-fatal wrapper around parsePromText.
+func parsePrometheus(t *testing.T, text string) []promFamily {
+	t.Helper()
+	fams, err := parsePromText(text)
+	if err != nil {
+		t.Fatalf("%v\nexposition:\n%s", err, text)
 	}
 	return fams
 }
