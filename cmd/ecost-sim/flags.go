@@ -5,6 +5,8 @@ package main
 // silently enables -online before validation runs).
 type runFlags struct {
 	Online          bool
+	Nodes           int
+	Jobs            int
 	Metrics         bool
 	MetricsJSON     bool
 	MetricsVolatile bool
@@ -25,6 +27,7 @@ func (f runFlags) onlineOnly() []struct {
 		name string
 		set  bool
 	}{
+		{"-jobs", f.Jobs > 0},
 		{"-trace-out", f.TraceOut != ""},
 		{"-timeline-out", f.TimelineOut != ""},
 		{"-edp-report", f.EDPReport},
@@ -39,6 +42,12 @@ func (f runFlags) onlineOnly() []struct {
 // the binary (the caller exits with cliutil.ExitUsage on a non-empty
 // result).
 func (f runFlags) contradiction() string {
+	if f.Nodes < 1 {
+		return "-nodes must be a positive cluster size"
+	}
+	if f.Jobs < 0 {
+		return "-jobs cannot be negative; 0 means the scenario as-is"
+	}
 	if (f.MetricsJSON || f.MetricsVolatile) && !f.Metrics {
 		return "-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well"
 	}

@@ -17,6 +17,17 @@ func TestFlagContradictions(t *testing.T) {
 	}{
 		{"defaults", runFlags{}, ""},
 		{"online alone", runFlags{Online: true}, ""},
+		// Nodes 0 in a table entry means "not under test" (the loop fills
+		// the flag default in); the -nodes<1 branch is value-independent,
+		// so the negative entries cover -nodes 0 as well.
+		{"nonsense nodes offline", runFlags{Nodes: -4}, "-nodes must be a positive"},
+		{"nonsense nodes online", runFlags{Online: true, Nodes: -1}, "-nodes must be a positive"},
+		{"negative jobs", runFlags{Online: true, Jobs: -1}, "-jobs cannot be negative"},
+		{"jobs offline", runFlags{Jobs: 2000}, "-jobs requires the online scheduler"},
+		{"jobs online", runFlags{Online: true, Jobs: 2000}, ""},
+		// Value checks outrank combination checks: a nonsense -nodes is
+		// reported even when an online-only flag is also missing -online.
+		{"nonsense nodes and jobs offline", runFlags{Nodes: -4, Jobs: 10}, "-nodes must be a positive"},
 		{"metrics json without metrics", runFlags{MetricsJSON: true}, "-metrics-json"},
 		{"metrics volatile without metrics", runFlags{MetricsVolatile: true}, "-metrics-volatile"},
 		{"metrics json with metrics", runFlags{Online: true, Metrics: true, MetricsJSON: true}, ""},
@@ -42,7 +53,11 @@ func TestFlagContradictions(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := tc.flags.contradiction()
+			f := tc.flags
+			if f.Nodes == 0 {
+				f.Nodes = 4 // the flag's default; 0 in a table entry means "not under test"
+			}
+			got := f.contradiction()
 			if tc.want == "" && got != "" {
 				t.Fatalf("coherent flags rejected: %q", got)
 			}
@@ -53,8 +68,8 @@ func TestFlagContradictions(t *testing.T) {
 	}
 	// Completeness guard: every online-only flag is represented in the
 	// rejection table above.
-	all := runFlags{TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
-	if got := len(all.onlineOnly()); got != 5 {
+	all := runFlags{Jobs: 1, TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
+	if got := len(all.onlineOnly()); got != 6 {
 		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
 	}
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"sync"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
+)
+
+// MemoSTP memoizes an STP technique's predictions keyed by the exact
+// (Observation a, Observation b) pair. Recurring jobs have recurring
+// resource profiles (arXiv:1303.3632, arXiv:1301.4753); whenever the
+// same two observations are paired again — replayed traces, exact
+// (noise-free) profiling, policy sweeps re-running a workload, or any
+// caller re-asking for a pair it already tuned — the cache answers in
+// one map lookup instead of a database scan or an argmin sweep.
+//
+// Exact keying is deliberate: with the noise-model profiler each job
+// instance's feature vector differs, so a stream that re-profiles
+// every arrival keeps the cache cold — at the cost of one map lookup
+// per miss, negligible next to the prediction itself. A similarity
+// (app+size) key would hit constantly but return a *different*
+// instance's answer, silently changing tuning decisions; exact keys
+// are what keeps the wrapper bit-identical to the unmemoized run.
+//
+// The wrapper is transparent: it returns whatever the inner technique
+// returned for the first occurrence of a key (inner techniques are
+// deterministic, so the cached answer is the answer), forwards Name,
+// and exposes the full ExpectingSTP surface via the same
+// predictExpected dispatch the scheduler uses — stack it under
+// MeteredSTP (NewMeteredSTP(NewMemoSTP(inner, reg), model, reg)) and
+// every deterministic metric, audit forecast, and tuning decision is
+// bit-identical to the unmemoized run. Hit/miss counters are volatile
+// (implementation-effort telemetry), so deterministic snapshots do not
+// see the cache either.
+//
+// Like the Oracle, the cache is sharded: one mutex per shard keyed by
+// a hash of the two application identities, so concurrent policy
+// sweeps do not serialize on a single lock. Unlike the Oracle there is
+// no singleflight — the online event loop is single-threaded, and for
+// concurrent callers recomputing a prediction is cheap enough that
+// waiting infrastructure would cost more than it saves.
+type MemoSTP struct {
+	Inner STP
+
+	seed   maphash.Seed
+	shards [memoShards]memoShard
+
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+// memoShards is a power of two so shard selection is a mask.
+const memoShards = 16
+
+// memoShardCap bounds each shard's entry count; a full shard is
+// cleared wholesale (the workload stream's working set is tiny — the
+// cap only guards unbounded growth under adversarial churn).
+const memoShardCap = 4096
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[memoPairKey]memoResult
+}
+
+// memoPairKey is the exact observation pair. Observation is a value
+// type (app identity, size, fixed-width feature vector), so equality
+// is the bitwise feature match the profiler's noise model makes
+// meaningful: identical observations — not merely similar ones — hit.
+type memoPairKey struct{ a, b Observation }
+
+type memoResult struct {
+	cfg [2]mapreduce.Config
+	exp PairExpectation
+	err error
+}
+
+// NewMemoSTP wraps inner with a sharded memoization cache, registering
+// volatile hit/miss counters in reg (nil disables the counters only —
+// the cache itself always works).
+func NewMemoSTP(inner STP, reg *metrics.Registry) *MemoSTP {
+	m := &MemoSTP{
+		Inner:  inner,
+		seed:   maphash.MakeSeed(),
+		hits:   reg.VolatileCounter("stp.memo.hits"),
+		misses: reg.VolatileCounter("stp.memo.misses"),
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[memoPairKey]memoResult)
+	}
+	return m
+}
+
+// Name implements STP.
+func (m *MemoSTP) Name() string { return m.Inner.Name() }
+
+func (m *MemoSTP) shard(a, b Observation) *memoShard {
+	var h maphash.Hash
+	h.SetSeed(m.seed)
+	h.WriteString(a.App.Name)
+	h.WriteString(b.App.Name)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(a.SizeGB))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(b.SizeGB))
+	h.Write(buf[:])
+	return &m.shards[h.Sum64()&(memoShards-1)]
+}
+
+// PredictBest implements STP.
+func (m *MemoSTP) PredictBest(a, b Observation) ([2]mapreduce.Config, error) {
+	cfg, _, err := m.PredictBestExpected(a, b)
+	return cfg, err
+}
+
+// PredictBestExpected implements ExpectingSTP. Both prediction entry
+// points share this one cache: the stored value carries the richest
+// answer the inner technique exposes (predictExpected's graceful
+// degradation), so a PredictBest after a PredictBestExpected of the
+// same pair — or vice versa — hits.
+func (m *MemoSTP) PredictBestExpected(a, b Observation) ([2]mapreduce.Config, PairExpectation, error) {
+	k := memoPairKey{a, b}
+	sh := m.shard(a, b)
+	sh.mu.Lock()
+	if r, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		m.hits.Inc()
+		return r.cfg, r.exp, r.err
+	}
+	sh.mu.Unlock()
+	m.misses.Inc()
+	cfg, exp, err := predictExpected(m.Inner, a, b)
+	sh.mu.Lock()
+	if len(sh.m) >= memoShardCap {
+		clear(sh.m)
+	}
+	sh.m[k] = memoResult{cfg: cfg, exp: exp, err: err}
+	sh.mu.Unlock()
+	return cfg, exp, err
+}

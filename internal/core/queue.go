@@ -36,6 +36,15 @@ type WaitQueue struct {
 	// counts and the depth high-water mark. The owning scheduler samples
 	// depth over sim-time separately (the queue has no clock).
 	Metrics *metrics.Registry
+
+	// byClass sub-indexes the FIFO per class (each deque in queue
+	// order) and seq records every queued job's arrival sequence, so
+	// SelectPartner inspects one front per class instead of scanning
+	// the whole queue. The jobs slice stays the source of truth; the
+	// index mirrors it exactly (fuzz-tested against the linear scan).
+	byClass map[workloads.Class][]*Job
+	seq     map[int]uint64
+	nextSeq uint64
 }
 
 // NewWaitQueue returns an empty queue with the default smallness bound.
@@ -47,6 +56,7 @@ func (q *WaitQueue) Push(j *Job) {
 		return
 	}
 	q.jobs = append(q.jobs, j)
+	q.index(j)
 	if q.Metrics != nil {
 		q.Metrics.Counter("queue.push." + j.Class.String()).Inc()
 		if hw := q.Metrics.Gauge("queue.depth_highwater"); float64(len(q.jobs)) > hw.Value() {
@@ -85,7 +95,44 @@ func (q *WaitQueue) PopHead() *Job {
 	}
 	j := q.jobs[0]
 	q.jobs = q.jobs[1:]
+	q.unindex(j)
 	return j
+}
+
+// index registers a freshly pushed job in the per-class sub-index
+// (lazily initialized so literal WaitQueue values keep working).
+func (q *WaitQueue) index(j *Job) {
+	if q.byClass == nil {
+		q.byClass = map[workloads.Class][]*Job{}
+		q.seq = map[int]uint64{}
+	}
+	q.byClass[j.Class] = append(q.byClass[j.Class], j)
+	q.seq[j.ID] = q.nextSeq
+	q.nextSeq++
+}
+
+// unindex drops a removed job from the per-class sub-index. The
+// scheduler removes fronts (PopHead, or Take of the job SelectPartner
+// just returned), so the common case splices at position 0.
+func (q *WaitQueue) unindex(j *Job) {
+	d := q.byClass[j.Class]
+	for i, x := range d {
+		if x != j {
+			continue
+		}
+		if i == 0 {
+			d = d[1:]
+		} else {
+			d = append(d[:i], d[i+1:]...)
+		}
+		break
+	}
+	if len(d) == 0 {
+		delete(q.byClass, j.Class)
+	} else {
+		q.byClass[j.Class] = d
+	}
+	delete(q.seq, j.ID)
 }
 
 // Candidates returns the jobs eligible to fill a fresh node slot: the
@@ -119,6 +166,7 @@ func (q *WaitQueue) Take(id int) (*Job, error) {
 	for i, j := range q.jobs {
 		if j.ID == id {
 			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			q.unindex(j)
 			return j, nil
 		}
 	}
@@ -132,7 +180,46 @@ func (q *WaitQueue) Take(id int) (*Job, error) {
 // partner-class priority order derived from the Figure-5 ranking decides
 // (I first, then H/C, then M), with queue order breaking ties. Returns
 // nil if the queue is empty.
+//
+// Only the front of each class's sub-index can win — within a class,
+// queue order is push order — so the scan inspects at most one job per
+// distinct queued class instead of the whole FIFO. The (rank, arrival
+// sequence) order is total (sequences are unique), so the choice is
+// deterministic and equals selectPartnerLinear's first-strictly-better
+// sweep (fuzz-tested).
 func (q *WaitQueue) SelectPartner(running workloads.Class, priority []workloads.Class) *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	var best *Job
+	bestRank := 0
+	for c, d := range q.byClass {
+		j := d[0]
+		r := classRank(c, priority)
+		if best == nil || r < bestRank || (r == bestRank && q.seq[j.ID] < q.seq[best.ID]) {
+			best, bestRank = j, r
+		}
+	}
+	return best
+}
+
+// classRank resolves a class's priority rank the same way the linear
+// scan's map build does (a duplicated class keeps its last position;
+// unlisted classes rank after every listed one) without allocating.
+func classRank(c workloads.Class, priority []workloads.Class) int {
+	r := len(priority)
+	for i, p := range priority {
+		if p == c {
+			r = i
+		}
+	}
+	return r
+}
+
+// selectPartnerLinear is the legacy whole-queue scan SelectPartner
+// replaced — kept verbatim as the reference implementation for the
+// naive scheduler mode and the index equivalence tests.
+func (q *WaitQueue) selectPartnerLinear(priority []workloads.Class) *Job {
 	cands := q.PartnerCandidates()
 	if len(cands) == 0 {
 		return nil

@@ -34,6 +34,20 @@ type OnlineScheduler struct {
 	queue *WaitQueue
 	nodes []*onlineNode
 
+	// naive selects the legacy reference paths (O(nodes) power
+	// recompute per accrual, linear dispatch and partner scans) kept
+	// for equivalence testing and baseline benchmarks; see SetNaive.
+	naive bool
+
+	// idleWatts caches the empty-node steady-state draw (bit-identical
+	// to Model.Steady(nil)); scratch is the reusable RunSpec buffer the
+	// reschedule path builds resident specs into; freeSet / halfSet
+	// index nodes with zero / exactly one resident for O(1) dispatch.
+	idleWatts float64
+	scratch   []mapreduce.RunSpec
+	freeSet   nodeSet
+	halfSet   nodeSet
+
 	nextID    int
 	pending   int
 	completed []CompletedJob
@@ -195,11 +209,18 @@ func (s *OnlineScheduler) Audit() *audit.Log { return s.aud }
 
 // rollOccupancy closes a node's current occupancy span and opens the
 // next one — called whenever the resident set changes (after the
-// closing interval's energy has been accrued).
+// closing interval's energy has been accrued). The nil branch must
+// stay small enough to inline (see Histogram.Observe): with tracing
+// off the call compiles down to a compare-and-return (sub-ns,
+// BenchmarkDisabledOccupancyRoll, guarded in CI).
 func (s *OnlineScheduler) rollOccupancy(n *onlineNode) {
 	if s.tracer == nil {
 		return
 	}
+	s.rollOccupancySlow(n)
+}
+
+func (s *OnlineScheduler) rollOccupancySlow(n *onlineNode) {
 	now := s.Engine.Now()
 	s.nodeSpans[n.id].FinishAt(now)
 	var names []string
@@ -210,11 +231,19 @@ func (s *OnlineScheduler) rollOccupancy(n *onlineNode) {
 		tracing.Attrs{Job: -1, Node: n.id, Detail: strings.Join(names, "+")})
 }
 
-// sampleDepth records the queue depth at the current sim-time.
+// sampleDepth records the queue depth at the current sim-time. Like
+// rollOccupancy, the disabled path is a single inlined branch
+// (BenchmarkDisabledDepthSample) — dispatch calls this per placement,
+// so an uninstrumented run must not even read the engine clock.
 func (s *OnlineScheduler) sampleDepth() {
-	if s.met != nil {
-		s.met.depth.Sample(s.Engine.Now(), float64(s.queue.Len()))
+	if s.met == nil {
+		return
 	}
+	s.sampleDepthSlow()
+}
+
+func (s *OnlineScheduler) sampleDepthSlow() {
+	s.met.depth.Sample(s.Engine.Now(), float64(s.queue.Len()))
 }
 
 // Phases returns the energy split by node-occupancy phase accrued so
@@ -245,6 +274,13 @@ type onlineNode struct {
 	id        int
 	residents []*onlineJob
 	event     *sim.Event // next completion event
+
+	// watts caches the node's steady-state draw for the current
+	// resident set. It is refreshed at every reschedule (the one place
+	// the resident set or its configurations change hands) and reset to
+	// the idle draw when the node empties, so the accrual path reads it
+	// instead of re-solving the execution model per node per event.
+	watts float64
 }
 
 // NewOnlineScheduler builds a scheduler over `nodes` single-node lanes.
@@ -264,11 +300,26 @@ func NewOnlineScheduler(eng *sim.Engine, model *mapreduce.Model, db *Database, t
 		MaxPerNode: 2,
 		queue:      NewWaitQueue(),
 	}
+	// The idle draw is the same expression Model.Steady evaluates for an
+	// empty spec set, so cached node watts stay bit-identical to a fresh
+	// per-accrual recompute.
+	s.idleWatts = model.IdlePower()
+	s.freeSet = newNodeSet(nodes)
+	s.halfSet = newNodeSet(nodes)
 	for i := 0; i < nodes; i++ {
-		s.nodes = append(s.nodes, &onlineNode{id: i})
+		s.nodes = append(s.nodes, &onlineNode{id: i, watts: s.idleWatts})
+		s.freeSet.set(i, true)
 	}
 	return s, nil
 }
+
+// SetNaive selects the legacy reference implementation: per-accrual
+// steady-state recomputes for every node, linear node scans in
+// dispatch, and the linear partner scan in the wait queue. The naive
+// and indexed paths are bit-identical (golden-tested); the naive one
+// exists as the equivalence baseline and for `-ecost.naive` benchmark
+// comparisons. Call before the first Submit.
+func (s *OnlineScheduler) SetNaive(v bool) { s.naive = v }
 
 // Submit schedules a job arrival at the given simulated time.
 func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
@@ -351,6 +402,16 @@ func (s *OnlineScheduler) Run() (makespan, energyJ float64, err error) {
 }
 
 // accrueEnergy integrates cluster power since the last update.
+//
+// The per-node watts are read from the cache reschedule maintains, so
+// the loop is a handful of float adds per node — no execution-model
+// solves and no allocations (asserted by TestAccrueEnergyZeroAlloc
+// with tracing, audit, and metrics all attached). The summation keeps
+// the naive path's exact per-node order (node id ascending, one
+// phases.Add and one share division per node), so the accumulated
+// energy, phase split, and every span/audit attribution are
+// bit-identical to recomputing Steady per node — a running cluster-sum
+// updated at invalidation points would drift in the last ulp.
 func (s *OnlineScheduler) accrueEnergy() {
 	now := s.Engine.Now()
 	dt := now - s.lastUpdate
@@ -359,9 +420,15 @@ func (s *OnlineScheduler) accrueEnergy() {
 	}
 	var watts float64
 	for _, n := range s.nodes {
-		_, w, err := s.Model.Steady(n.specs())
-		if err != nil {
-			panic(err)
+		w := n.watts
+		if s.naive {
+			// Legacy reference: re-solve the steady state of every node
+			// (idle ones included) on every accrual.
+			var err error
+			_, w, err = s.Model.Steady(n.specs())
+			if err != nil {
+				panic(err)
+			}
 		}
 		watts += w
 		s.phases.Add(len(n.residents), w*dt)
@@ -407,23 +474,62 @@ func (n *onlineNode) specs() []mapreduce.RunSpec {
 	return out
 }
 
+// specsInto is specs over the scheduler's reusable scratch buffer: the
+// event loop is single-threaded and Model.Steady only reads the slice,
+// so the reschedule path builds every resident-spec list in place
+// instead of allocating one per call.
+func (s *OnlineScheduler) specsInto(n *onlineNode) []mapreduce.RunSpec {
+	out := s.scratch[:0]
+	for _, r := range n.residents {
+		out = append(out, mapreduce.RunSpec{
+			App:    r.job.Obs.App,
+			DataMB: r.job.Obs.SizeGB * 1024,
+			Cfg:    r.cfg,
+		})
+	}
+	s.scratch = out
+	return out
+}
+
+// occupancyChanged refreshes the dispatch indexes after a node's
+// resident count changed (a placement or a completion).
+func (s *OnlineScheduler) occupancyChanged(n *onlineNode) {
+	s.freeSet.set(n.id, len(n.residents) == 0)
+	s.halfSet.set(n.id, len(n.residents) == 1)
+}
+
 // dispatch places queued jobs: empty slots are filled head-first; a node
 // with one resident gets a partner chosen by the decision tree.
 func (s *OnlineScheduler) dispatch() {
 	for s.queue.Len() > 0 {
-		// Prefer pairing onto a half-busy node, then an empty node.
+		// Prefer pairing onto a half-busy node, then an empty node. The
+		// indexes hand back the lowest node id, which is exactly the
+		// node the legacy in-order scan would stop at.
 		var target *onlineNode
-		for _, n := range s.nodes {
-			if len(n.residents) == 1 && s.MaxPerNode >= 2 {
-				target = n
-				break
-			}
-		}
-		if target == nil {
+		if s.naive {
 			for _, n := range s.nodes {
-				if len(n.residents) == 0 {
+				if len(n.residents) == 1 && s.MaxPerNode >= 2 {
 					target = n
 					break
+				}
+			}
+			if target == nil {
+				for _, n := range s.nodes {
+					if len(n.residents) == 0 {
+						target = n
+						break
+					}
+				}
+			}
+		} else {
+			if s.MaxPerNode >= 2 {
+				if id, ok := s.halfSet.min(); ok {
+					target = s.nodes[id]
+				}
+			}
+			if target == nil {
+				if id, ok := s.freeSet.min(); ok {
+					target = s.nodes[id]
 				}
 			}
 		}
@@ -436,7 +542,12 @@ func (s *OnlineScheduler) dispatch() {
 		if len(target.residents) == 1 {
 			running := target.residents[0].job.Class
 			head := s.queue.Head()
-			j = s.queue.SelectPartner(running, s.DB.PartnerPriority(running))
+			priority := s.DB.PartnerPriority(running)
+			if s.naive {
+				j = s.queue.selectPartnerLinear(priority)
+			} else {
+				j = s.queue.SelectPartner(running, priority)
+			}
 			if j != nil {
 				taken, err := s.queue.Take(j.ID)
 				if err != nil {
@@ -516,6 +627,7 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leap
 		}
 	}
 	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
+	s.occupancyChanged(n)
 	if s.tracer != nil {
 		js := s.traced[j.ID]
 		js.wait.FinishAt(now)
@@ -649,12 +761,22 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 		n.event = nil
 	}
 	if len(n.residents) == 0 {
+		n.watts = s.idleWatts
 		return
 	}
-	sts, _, err := s.Model.Steady(n.specs())
+	specs := s.specsInto(n)
+	if s.naive {
+		specs = n.specs()
+	}
+	sts, watts, err := s.Model.Steady(specs)
 	if err != nil {
 		panic(err)
 	}
+	// Capture the node's steady-state draw for the incremental accrual
+	// path: this is the single point where a node's resident set or
+	// configurations take effect, so the cache is fresh at every later
+	// accrual (which always runs before the next mutation).
+	n.watts = watts
 	if s.tracer != nil {
 		// Refresh each resident's map/total split under the current
 		// contention — the value in force at completion places the
@@ -700,6 +822,7 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 				break
 			}
 		}
+		s.occupancyChanged(n)
 		s.pending--
 		s.completed = append(s.completed, CompletedJob{
 			ID:        finisher.job.ID,

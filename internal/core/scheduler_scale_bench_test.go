@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"ecost/internal/audit"
+	"ecost/internal/cluster"
+	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
+	"ecost/internal/sim"
+	"ecost/internal/tracing"
+)
+
+// tracedBusyScheduler builds a fully instrumented 4-node scheduler with
+// every node co-running two WS4 jobs: arrivals are submitted at t=0 and
+// the engine is stepped through exactly the arrival events, so the
+// placements happen but no completion has fired yet.
+func tracedBusyScheduler(tb testing.TB) *OnlineScheduler {
+	tb.Helper()
+	fixture(tb)
+	eng := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	prof := NewProfiler(fix.model, sim.NewRNG(3))
+	s, err := NewOnlineScheduler(eng, fix.model, fix.db, fix.lkt, prof, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.SetMetrics(reg)
+	s.SetTracer(tracing.New(eng.Clock()))
+	s.SetAudit(audit.NewLog(audit.DriftConfig{}))
+	wl, err := Scenario("WS4")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, j := range wl.Jobs[:8] {
+		s.Submit(j.App, j.SizeGB, 0)
+	}
+	for i := 0; i < 8; i++ {
+		if !eng.Step() {
+			tb.Fatal("engine drained before all arrivals fired")
+		}
+	}
+	for _, n := range s.nodes {
+		if len(n.residents) == 0 {
+			tb.Fatalf("node %d idle; want every node busy", n.id)
+		}
+	}
+	return s
+}
+
+// TestAccrueEnergyZeroAlloc is the satellite acceptance check: with
+// metrics, tracing, AND the decision audit all attached, the energy
+// accrual path must not allocate — the per-node watts cache and the
+// scratch spec buffer removed the last per-accrual allocations.
+func TestAccrueEnergyZeroAlloc(t *testing.T) {
+	s := tracedBusyScheduler(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.lastUpdate = -1 // force dt > 0 so the full accrual body runs
+		s.accrueEnergy()
+	})
+	if allocs != 0 {
+		t.Fatalf("accrueEnergy allocates %v times per call with tracing+audit enabled; want 0", allocs)
+	}
+}
+
+// BenchmarkAccrueEnergyTraced measures the fully instrumented accrual
+// path (metrics + tracing + audit attached, all nodes co-running).
+// Guarded in CI via BENCH_PERF.json: must stay allocation-free.
+// -ecost.naive measures the legacy per-accrual specs()+Steady recompute.
+func BenchmarkAccrueEnergyTraced(b *testing.B) {
+	s := tracedBusyScheduler(b)
+	s.SetNaive(*naiveFlag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.lastUpdate = -1
+		s.accrueEnergy()
+	}
+}
+
+// disabledScheduler builds the smallest possible scheduler with every
+// observability sink off, for benchmarking the disabled fast paths.
+func disabledScheduler(tb testing.TB) *OnlineScheduler {
+	tb.Helper()
+	eng := sim.NewEngine()
+	model := mapreduce.NewModel(cluster.AtomC2758())
+	db := &Database{}
+	s, err := NewOnlineScheduler(eng, model, db, &LkTSTP{DB: db}, NewProfiler(model, sim.NewRNG(1)), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkDisabledDepthSample measures sampleDepth with observability
+// fully off — like the other disabled-path no-ops it must stay a
+// single inlined nil check (sub-ns, zero alloc; guarded in CI).
+func BenchmarkDisabledDepthSample(b *testing.B) {
+	s := disabledScheduler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.sampleDepth()
+	}
+}
+
+// BenchmarkDisabledOccupancyRoll measures rollOccupancy with
+// observability fully off (sub-ns, zero alloc; guarded in CI).
+func BenchmarkDisabledOccupancyRoll(b *testing.B) {
+	s := disabledScheduler(b)
+	n := s.nodes[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.rollOccupancy(n)
+	}
+}
+
+// BenchmarkOnlineLargeCluster is the tentpole scale benchmark: a
+// thousand-node cluster fed a long recurring-job stream. Short mode
+// (what CI's bench-guard runs) uses 256 nodes × 2000 jobs; full mode
+// 1024 × 20000. The mean interarrival scales inversely with cluster
+// size so the offered load — and therefore queue behavior — is
+// comparable across sizes. -ecost.naive measures the legacy
+// reference path (per-accrual Steady recompute over every node,
+// linear dispatch scans, whole-queue partner scans, no tune memo);
+// the optimized path must beat it ≥10× at the full size.
+func BenchmarkOnlineLargeCluster(b *testing.B) {
+	fixture(b)
+	nodes, jobs := 1024, 20000
+	if testing.Short() {
+		nodes, jobs = 256, 2000
+	}
+	wl, err := Scenario("WS4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mean := 1536.0 / float64(nodes)
+	completed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		prof := NewProfiler(fix.model, sim.NewRNG(17))
+		var tuner STP = fix.lkt
+		if !*naiveFlag {
+			tuner = NewMemoSTP(fix.lkt, nil)
+		}
+		s, err := NewOnlineScheduler(eng, fix.model, fix.db, tuner, prof, nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetNaive(*naiveFlag)
+		rng := sim.NewRNG(18)
+		at := 0.0
+		for j := 0; j < jobs; j++ {
+			spec := wl.Jobs[j%len(wl.Jobs)]
+			s.Submit(spec.App, spec.SizeGB, at)
+			at += rng.Exp(mean)
+		}
+		if _, _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		completed += len(s.Completed())
+	}
+	b.StopTimer()
+	if completed != b.N*jobs {
+		b.Fatalf("completed %d jobs, want %d", completed, b.N*jobs)
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "jobs/s")
+}

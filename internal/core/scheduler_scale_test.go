@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"runtime"
+	"testing"
+
+	"ecost/internal/audit"
+	"ecost/internal/metrics"
+	"ecost/internal/sim"
+	"ecost/internal/tracing"
+	"ecost/internal/workloads"
+)
+
+// naiveFlag routes the large-cluster benchmarks through the legacy
+// reference paths (per-accrual Steady recompute, linear dispatch and
+// partner scans):
+//
+//	go test -bench OnlineLargeCluster -ecost.naive ./internal/core/
+//
+// measures the baseline the BENCH_PERF.json entries compare against.
+var naiveFlag = flag.Bool("ecost.naive", false,
+	"run online-scheduler benchmarks on the legacy (pre-index, pre-cache) reference path")
+
+// equivResult captures every externally observable artifact of one
+// fully instrumented online run.
+type equivResult struct {
+	makespan, energy uint64 // float bits: equality must be exact, not approximate
+	snapshot         string
+	timeline         string
+	decisions        string
+}
+
+// equivRun drives one WS4 online run with metrics, tracing, and
+// auditing all attached. naive selects the legacy reference paths and
+// drops the memoization wrapper, so the comparison covers every
+// optimized component at once.
+func equivRun(t *testing.T, naive bool) equivResult {
+	t.Helper()
+	fixture(t)
+	reg := metrics.NewRegistry()
+	eng := sim.NewEngine()
+	prof := NewProfiler(fix.model, sim.NewRNG(99))
+	var inner STP = fix.lkt
+	if !naive {
+		inner = NewMemoSTP(fix.lkt, reg)
+	}
+	tuner := NewMeteredSTP(inner, fix.model, reg)
+	s, err := NewOnlineScheduler(eng, fix.model, fix.db, tuner, prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetNaive(naive)
+	s.SetMetrics(reg)
+	tr := tracing.New(eng.Clock())
+	s.SetTracer(tr)
+	aud := audit.NewLog(audit.DriftConfig{})
+	s.SetAudit(aud)
+	wl, err := Scenario("WS4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range wl.Jobs {
+		s.Submit(j.App, j.SizeGB, float64(i)*40)
+	}
+	mk, en, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap, tl, dec bytes.Buffer
+	if err := reg.Snapshot(false).WriteText(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.WriteJSONL(&dec); err != nil {
+		t.Fatal(err)
+	}
+	return equivResult{
+		makespan:  math.Float64bits(mk),
+		energy:    math.Float64bits(en),
+		snapshot:  snap.String(),
+		timeline:  tl.String(),
+		decisions: dec.String(),
+	}
+}
+
+// TestOnlineNaiveEquivalence is the tentpole acceptance golden: the
+// incremental accounting + indexed dispatch + memoized tuning path
+// must be bit-identical to the legacy reference — makespan, energy,
+// the deterministic metrics snapshot, the span timeline, and the
+// /decisions JSONL — at GOMAXPROCS 1 and 4.
+func TestOnlineNaiveEquivalence(t *testing.T) {
+	results := map[string]equivResult{}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		naive := equivRun(t, true)
+		opt := equivRun(t, false)
+		runtime.GOMAXPROCS(old)
+		if naive.makespan != opt.makespan || naive.energy != opt.energy {
+			t.Fatalf("GOMAXPROCS=%d: naive (makespan %x energy %x) != optimized (makespan %x energy %x)",
+				procs, naive.makespan, naive.energy, opt.makespan, opt.energy)
+		}
+		if naive.snapshot != opt.snapshot {
+			t.Fatalf("GOMAXPROCS=%d: metrics snapshot diverged:\n--- naive ---\n%s\n--- optimized ---\n%s",
+				procs, naive.snapshot, opt.snapshot)
+		}
+		if naive.timeline != opt.timeline {
+			t.Fatalf("GOMAXPROCS=%d: timeline diverged:\n--- naive ---\n%s\n--- optimized ---\n%s",
+				procs, naive.timeline, opt.timeline)
+		}
+		if naive.decisions != opt.decisions {
+			t.Fatalf("GOMAXPROCS=%d: decision JSONL diverged:\n--- naive ---\n%s\n--- optimized ---\n%s",
+				procs, naive.decisions, opt.decisions)
+		}
+		results["naive"] = naive
+		if prev, ok := results["opt"]; ok && prev != opt {
+			t.Fatalf("optimized run diverged across GOMAXPROCS values")
+		}
+		results["opt"] = opt
+	}
+}
+
+// TestNodeSetsAgainstLinearScan steps a randomized run event by event
+// and, after every event, checks the free / half-busy dispatch indexes
+// against a linear scan of the node resident sets — the property the
+// indexed dispatch equivalence rests on.
+func TestNodeSetsAgainstLinearScan(t *testing.T) {
+	fixture(t)
+	eng := sim.NewEngine()
+	prof := NewProfiler(fix.model, sim.NewRNG(5))
+	s, err := NewOnlineScheduler(eng, fix.model, fix.db, fix.lkt, prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := workloads.Training()
+	rng := sim.NewRNG(6)
+	at := 0.0
+	for i := 0; i < 40; i++ {
+		size := 1.0
+		if i%3 == 0 {
+			size = 5
+		}
+		s.Submit(apps[i%len(apps)], size, at)
+		at += rng.Exp(150)
+	}
+	check := func() {
+		t.Helper()
+		for _, n := range s.nodes {
+			if got, want := s.freeSet.has(n.id), len(n.residents) == 0; got != want {
+				t.Fatalf("t=%.0f node %d: freeSet=%v, residents=%d", eng.Now(), n.id, got, len(n.residents))
+			}
+			if got, want := s.halfSet.has(n.id), len(n.residents) == 1; got != want {
+				t.Fatalf("t=%.0f node %d: halfSet=%v, residents=%d", eng.Now(), n.id, got, len(n.residents))
+			}
+		}
+	}
+	check()
+	for eng.Step() {
+		check()
+	}
+	if s.pending != 0 {
+		t.Fatalf("%d jobs never completed", s.pending)
+	}
+	if len(s.Completed()) != 40 {
+		t.Fatalf("completed %d jobs, want 40", len(s.Completed()))
+	}
+}
+
+// TestOnlineLargeClusterShortSmoke is the CI scale smoke: 256 nodes ×
+// 2000 jobs through the optimized path must complete (fast enough for
+// -short and -race runs — the legacy path would spend minutes here).
+func TestOnlineLargeClusterShortSmoke(t *testing.T) {
+	fixture(t)
+	const nodes, jobs = 256, 2000
+	eng := sim.NewEngine()
+	prof := NewProfiler(fix.model, sim.NewRNG(17))
+	s, err := NewOnlineScheduler(eng, fix.model, fix.db, NewMemoSTP(fix.lkt, nil), prof, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Scenario("WS4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(18)
+	at := 0.0
+	for i := 0; i < jobs; i++ {
+		j := wl.Jobs[i%len(wl.Jobs)]
+		s.Submit(j.App, j.SizeGB, at)
+		at += rng.Exp(6)
+	}
+	mk, en, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Completed()); got != jobs {
+		t.Fatalf("completed %d jobs, want %d", got, jobs)
+	}
+	if mk <= 0 || en <= 0 {
+		t.Fatalf("degenerate run: makespan %v, energy %v", mk, en)
+	}
+	for _, n := range s.nodes {
+		if len(n.residents) != 0 || !s.freeSet.has(n.id) || s.halfSet.has(n.id) {
+			t.Fatalf("node %d not drained: residents=%d free=%v half=%v",
+				n.id, len(n.residents), s.freeSet.has(n.id), s.halfSet.has(n.id))
+		}
+	}
+}
+
+// queueFuzzJob builds a deterministic fuzz-driven job.
+func queueFuzzJob(id int, class workloads.Class, est float64) *Job {
+	return &Job{ID: id, Class: class, EstTime: est}
+}
+
+// fuzzPriorities are the priority shapes each fuzz step cross-checks:
+// the standard order, a single class, empty (every class unlisted),
+// and one with a duplicate (last position wins, like the map build).
+func fuzzPriorities() [][]workloads.Class {
+	return [][]workloads.Class{
+		DefaultPriority(),
+		{workloads.MemBound},
+		{},
+		{workloads.Compute, workloads.IOBound, workloads.Compute},
+	}
+}
+
+// FuzzWaitQueueIndex drives randomized push / pop-head / take
+// sequences and asserts, after every operation, that the per-class
+// index's SelectPartner agrees with the legacy linear scan for every
+// priority shape — the queue-index half of the indexed-dispatch
+// equivalence argument.
+func FuzzWaitQueueIndex(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 12, 1, 5, 2, 9, 3, 13, 2, 3, 7, 11, 2, 2, 2, 2})
+	f.Add([]byte{0, 0, 0, 3, 3, 3, 2, 2, 2})
+	f.Add([]byte{12, 8, 4, 0, 1, 3, 2, 15, 14, 13})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		classes := workloads.Classes()
+		q := NewWaitQueue()
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // bias toward growth so scans see populated queues
+				q.Push(queueFuzzJob(next, classes[int(op/4)%len(classes)], float64(op%7)+1))
+				next++
+			case 2:
+				q.PopHead()
+			case 3:
+				if n := q.Len(); n > 0 {
+					if _, err := q.Take(q.jobs[int(op/4)%n].ID); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for _, prio := range fuzzPriorities() {
+				got := q.SelectPartner(workloads.Hybrid, prio)
+				want := q.selectPartnerLinear(prio)
+				if got != want {
+					t.Fatalf("after %d ops, priority %v: indexed chose %+v, linear chose %+v (queue %d deep)",
+						len(ops), prio, got, want, q.Len())
+				}
+			}
+			if len(q.seq) != q.Len() {
+				t.Fatalf("seq index has %d entries, queue has %d jobs", len(q.seq), q.Len())
+			}
+			indexed := 0
+			for _, d := range q.byClass {
+				if len(d) == 0 {
+					t.Fatal("empty class deque left in index")
+				}
+				indexed += len(d)
+			}
+			if indexed != q.Len() {
+				t.Fatalf("class index holds %d jobs, queue has %d", indexed, q.Len())
+			}
+		}
+	})
+}
+
+// TestMemoSTPTransparency checks the memo wrapper end to end: repeat
+// predictions hit, hits return the exact first answer, and the metered
+// wrapper's deterministic telemetry cannot tell the cache is there.
+func TestMemoSTPTransparency(t *testing.T) {
+	fixture(t)
+	reg := metrics.NewRegistry()
+	memo := NewMemoSTP(fix.lkt, reg)
+	a := obsOf(t, "wc", 5)
+	b := obsOf(t, "st", 5)
+	cfg1, exp1, err1 := memo.PredictBestExpected(a, b)
+	cfg2, exp2, err2 := memo.PredictBestExpected(a, b)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if cfg1 != cfg2 || exp1 != exp2 {
+		t.Fatalf("memoized answer diverged: %v/%v vs %v/%v", cfg1, exp1, cfg2, exp2)
+	}
+	wantCfg, wantExp, err := fix.lkt.PredictBestExpected(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg1 != wantCfg || exp1 != wantExp {
+		t.Fatalf("memo answer %v/%v != inner answer %v/%v", cfg1, exp1, wantCfg, wantExp)
+	}
+	if hits := reg.Counter("stp.memo.hits").Value(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("stp.memo.misses").Value(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	// PredictBest shares the same cache.
+	if _, err := memo.PredictBest(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter("stp.memo.hits").Value(); hits != 2 {
+		t.Fatalf("hits after PredictBest = %d, want 2", hits)
+	}
+	// The hit/miss counters are operational telemetry: they must stay
+	// out of the deterministic snapshot (golden expositions cannot
+	// depend on cache effectiveness) and appear in the volatile one.
+	var det, vol bytes.Buffer
+	if err := reg.Snapshot(false).WriteText(&det); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot(true).WriteText(&vol); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(det.Bytes(), []byte("stp.memo.")) {
+		t.Fatalf("memo counters leaked into the deterministic snapshot:\n%s", det.String())
+	}
+	if !bytes.Contains(vol.Bytes(), []byte("stp.memo.hits")) {
+		t.Fatalf("memo counters missing from the volatile snapshot:\n%s", vol.String())
+	}
+	// MeteredSTP unwraps the memo for its deterministic scan-size proxy.
+	met := NewMeteredSTP(memo, nil, metrics.NewRegistry())
+	if got, want := met.scanSize(), len(fix.db.Entries); got != want {
+		t.Fatalf("scanSize through memo = %d, want %d (DB entries)", got, want)
+	}
+}

@@ -181,15 +181,26 @@ func (s *MeteredSTP) PredictBestExpected(a, b Observation) ([2]mapreduce.Config,
 
 // scanSize is the deterministic work a single prediction performs: the
 // argmin sweep over the joint configuration space for model techniques,
-// the database scan for the lookup table.
+// the database scan for the lookup table. A memoizing wrapper is
+// transparent (the scan it may have skipped is still the prediction's
+// deterministic cost), so it unwraps to its inner technique — metered
+// snapshots stay byte-identical with and without the cache, and the
+// cache's actual effectiveness travels in its volatile hit/miss
+// counters instead.
 func (s *MeteredSTP) scanSize() int {
-	switch v := s.Inner.(type) {
-	case *MLMSTP:
-		return len(mapreduce.PairConfigsCached(v.db.Oracle().Model.Spec.Cores))
-	case *LkTSTP:
-		return len(v.DB.Entries)
+	t := s.Inner
+	for {
+		switch v := t.(type) {
+		case *MemoSTP:
+			t = v.Inner
+		case *MLMSTP:
+			return len(mapreduce.PairConfigsCached(v.db.Oracle().Model.Spec.Cores))
+		case *LkTSTP:
+			return len(v.DB.Entries)
+		default:
+			return 1
+		}
 	}
-	return 1
 }
 
 // MLMSTP is the machine-learning-model technique (Figure 7): one

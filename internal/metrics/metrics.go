@@ -28,7 +28,10 @@ import (
 )
 
 // Counter is a monotonically increasing atomic counter.
-type Counter struct{ v atomic.Int64 }
+type Counter struct {
+	v       atomic.Int64
+	volatil bool // operational instrument: excluded from deterministic snapshots
+}
 
 // Inc adds one.
 func (c *Counter) Inc() {
@@ -51,6 +54,11 @@ func (c *Counter) Value() int64 {
 	}
 	return c.v.Load()
 }
+
+// Volatile reports whether the counter is excluded from deterministic
+// snapshots (implementation-effort telemetry like cache hit rates,
+// which must not leak into golden expositions).
+func (c *Counter) Volatile() bool { return c != nil && c.volatil }
 
 // atomicFloat is a float64 updated with compare-and-swap on its bits.
 type atomicFloat struct{ bits atomic.Uint64 }
@@ -309,6 +317,19 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	return r.counter(name, false)
+}
+
+// VolatileCounter is Counter for implementation-effort telemetry
+// (e.g. memoization hit/miss rates): the instrument is excluded from
+// deterministic snapshots, so optimizations that change how often it
+// fires — without changing any simulated outcome — leave the golden
+// expositions byte-identical.
+func (r *Registry) VolatileCounter(name string) *Counter {
+	return r.counter(name, true)
+}
+
+func (r *Registry) counter(name string, volatil bool) *Counter {
 	if r == nil {
 		return nil
 	}
@@ -316,7 +337,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{volatil: volatil}
 		r.counters[name] = c
 	}
 	return c

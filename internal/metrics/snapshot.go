@@ -23,8 +23,9 @@ type Snapshot struct {
 
 // CounterSnap is one counter's reading.
 type CounterSnap struct {
-	Name  string `json:"name"`
-	Value int64  `json:"value"`
+	Name     string `json:"name"`
+	Value    int64  `json:"value"`
+	Volatile bool   `json:"volatile,omitempty"`
 }
 
 // GaugeSnap is one gauge's reading.
@@ -56,8 +57,9 @@ type SeriesSnap struct {
 }
 
 // Snapshot copies every instrument, sorted by name. Volatile
-// (wall-clock) histograms are included only when includeVolatile is
-// true; everything else in the snapshot is deterministic.
+// instruments (wall-clock readings, implementation-effort counters)
+// are included only when includeVolatile is true; everything else in
+// the snapshot is deterministic.
 func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
 	var s Snapshot
 	if r == nil {
@@ -84,7 +86,10 @@ func (r *Registry) Snapshot(includeVolatile bool) Snapshot {
 	r.mu.Unlock()
 
 	for name, c := range counters {
-		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+		if c.Volatile() && !includeVolatile {
+			continue
+		}
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value(), Volatile: c.Volatile()})
 	}
 	for name, g := range gauges {
 		if g.Volatile() && !includeVolatile {
@@ -137,7 +142,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	if len(s.Counters) > 0 {
 		fmt.Fprintln(w, "counters:")
 		for _, c := range s.Counters {
-			fmt.Fprintf(w, "  %-32s %d\n", c.Name, c.Value)
+			tag := ""
+			if c.Volatile {
+				tag = " (volatile)"
+			}
+			fmt.Fprintf(w, "  %-32s %d%s\n", c.Name, c.Value, tag)
 		}
 	}
 	if len(s.Gauges) > 0 {
