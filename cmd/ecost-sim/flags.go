@@ -1,12 +1,19 @@
 package main
 
 // runFlags is the parsed flag set that participates in cross-flag
-// validation. Online carries the post-implication value (-metrics
-// silently enables -online before validation runs).
+// validation. Online carries the post-implication value (-metrics and
+// gen: scenarios silently enable -online before validation runs);
+// ScenarioGen is whether -scenario named a gen: spec rather than a
+// WS workload.
 type runFlags struct {
 	Online          bool
 	Nodes           int
 	Jobs            int
+	Arrival         float64
+	ScenarioGen     bool
+	Arrivals        string
+	TraceRecord     string
+	TraceReplay     string
 	Metrics         bool
 	MetricsJSON     bool
 	MetricsVolatile bool
@@ -28,6 +35,8 @@ func (f runFlags) onlineOnly() []struct {
 		set  bool
 	}{
 		{"-jobs", f.Jobs > 0},
+		{"-trace-record", f.TraceRecord != ""},
+		{"-trace-replay", f.TraceReplay != ""},
 		{"-trace-out", f.TraceOut != ""},
 		{"-timeline-out", f.TimelineOut != ""},
 		{"-edp-report", f.EDPReport},
@@ -50,6 +59,30 @@ func (f runFlags) contradiction() string {
 	}
 	if (f.MetricsJSON || f.MetricsVolatile) && !f.Metrics {
 		return "-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well"
+	}
+	if f.TraceReplay != "" {
+		// A replayed trace IS the stream; every other stream-shaping
+		// flag contradicts it.
+		switch {
+		case f.ScenarioGen:
+			return "-trace-replay plays a recorded stream; drop the gen: -scenario"
+		case f.TraceRecord != "":
+			return "-trace-replay already has the recording; drop -trace-record"
+		case f.Jobs > 0:
+			return "-jobs shapes a generated stream; it cannot resize a -trace-replay recording"
+		case f.Arrival > 0 || f.Arrivals != "":
+			return "arrival times come from the -trace-replay recording; drop -arrival/-arrivals"
+		}
+	}
+	if f.ScenarioGen {
+		if f.Jobs > 0 {
+			return "-jobs duplicates the jobs= clause of a gen: -scenario"
+		}
+		if f.Arrival > 0 {
+			return "-arrival shapes workload streams; retune a gen: -scenario with -arrivals instead"
+		}
+	} else if f.Arrivals != "" {
+		return "-arrivals retunes a gen: -scenario; use -arrival for workload streams"
 	}
 	if !f.Online {
 		for _, c := range f.onlineOnly() {

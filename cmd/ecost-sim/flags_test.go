@@ -32,6 +32,20 @@ func TestFlagContradictions(t *testing.T) {
 		{"metrics volatile without metrics", runFlags{MetricsVolatile: true}, "-metrics-volatile"},
 		{"metrics json with metrics", runFlags{Online: true, Metrics: true, MetricsJSON: true}, ""},
 		{"metrics volatile with metrics", runFlags{Online: true, Metrics: true, MetricsVolatile: true}, ""},
+		{"gen scenario online", runFlags{Online: true, ScenarioGen: true}, ""},
+		{"gen scenario with arrivals", runFlags{Online: true, ScenarioGen: true, Arrivals: "poisson:60"}, ""},
+		{"gen scenario with jobs", runFlags{Online: true, ScenarioGen: true, Jobs: 100}, "-jobs duplicates the jobs= clause"},
+		{"gen scenario with arrival", runFlags{Online: true, ScenarioGen: true, Arrival: 60}, "-arrival shapes workload streams"},
+		{"arrivals without gen scenario", runFlags{Online: true, Arrivals: "poisson:60"}, "-arrivals retunes a gen: -scenario"},
+		{"record online", runFlags{Online: true, TraceRecord: "t.jsonl"}, ""},
+		{"record offline", runFlags{TraceRecord: "t.jsonl"}, "-trace-record requires the online scheduler"},
+		{"replay online", runFlags{Online: true, TraceReplay: "t.jsonl"}, ""},
+		{"replay offline", runFlags{TraceReplay: "t.jsonl"}, "-trace-replay requires the online scheduler"},
+		{"replay with gen scenario", runFlags{Online: true, TraceReplay: "t.jsonl", ScenarioGen: true}, "drop the gen: -scenario"},
+		{"replay with record", runFlags{Online: true, TraceReplay: "t.jsonl", TraceRecord: "u.jsonl"}, "drop -trace-record"},
+		{"replay with jobs", runFlags{Online: true, TraceReplay: "t.jsonl", Jobs: 100}, "cannot resize a -trace-replay recording"},
+		{"replay with arrival", runFlags{Online: true, TraceReplay: "t.jsonl", Arrival: 60}, "drop -arrival/-arrivals"},
+		{"replay with arrivals", runFlags{Online: true, TraceReplay: "t.jsonl", Arrivals: "poisson:60"}, "drop -arrival/-arrivals"},
 		{"trace-out offline", runFlags{TraceOut: "t.json"}, "-trace-out requires the online scheduler"},
 		{"timeline-out offline", runFlags{TimelineOut: "t.txt"}, "-timeline-out requires the online scheduler"},
 		{"edp-report offline", runFlags{EDPReport: true}, "-edp-report requires the online scheduler"},
@@ -68,8 +82,8 @@ func TestFlagContradictions(t *testing.T) {
 	}
 	// Completeness guard: every online-only flag is represented in the
 	// rejection table above.
-	all := runFlags{Jobs: 1, TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
-	if got := len(all.onlineOnly()); got != 6 {
+	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
+	if got := len(all.onlineOnly()); got != 8 {
 		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
 	}
 }

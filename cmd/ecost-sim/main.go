@@ -1,17 +1,29 @@
 // Command ecost-sim runs one workload scenario through a mapping policy
 // on a simulated cluster — either in batch mode (the Figure-9 runner) or
-// as an online, event-driven simulation with Poisson arrivals through
-// the full ECoST pipeline (profile → classify → queue → pair → tune).
+// as an online, event-driven simulation through the full ECoST pipeline
+// (profile → classify → queue → pair → tune).
 //
 // Usage:
 //
 //	ecost-sim -scenario WS4 -policy ECoST -nodes 4
 //	ecost-sim -scenario WS8 -online -nodes 2 -arrival 120
 //	ecost-sim -scenario WS4 -online -nodes 256 -jobs 2000 -arrival 6
+//	ecost-sim -scenario 'gen:jobs=500;arrivals=mmpp:calm=300,burst=10;sizes=pareto:alpha=1.5,min=1;mix=zipf:s=1.1,tenants=16' -nodes 8 -seed 7
+//	ecost-sim -scenario 'gen:jobs=200' -arrivals poisson:60 -trace-record load.jsonl
+//	ecost-sim -online -trace-replay load.jsonl -nodes 8
 //	ecost-sim -scenario WS4 -online -metrics
 //	ecost-sim -scenario WS4 -online -trace-out trace.json -edp-report
 //	ecost-sim -scenario WS4 -online -quality-report
 //	ecost-sim -scenario WS4 -online -serve :9090
+//
+// -scenario accepts either a named workload (WS1..WS8) or a generated
+// heavy-traffic scenario in the `gen:` grammar of internal/scenario
+// (seeded arrival processes, heavy-tailed sizes, recurring tenant
+// mixes); gen: scenarios imply -online. -trace-record writes the
+// arrival stream as JSONL before the run; -trace-replay plays a
+// recorded stream back byte-identically instead of generating one.
+// Stream runs (gen:, -jobs, replay) report queueing observables:
+// utilization, wait-queue lengths, and wait/sojourn percentiles.
 //
 // -metrics appends an observability snapshot of the online run (queue
 // depth, per-class wait latency, pairing-tree outcomes, STP prediction
@@ -43,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 
 	"ecost/internal/audit"
 	"ecost/internal/cliutil"
@@ -51,18 +64,22 @@ import (
 	"ecost/internal/experiments"
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
+	"ecost/internal/scenario"
 	"ecost/internal/sim"
 	"ecost/internal/trace"
 	"ecost/internal/tracing"
 )
 
 func main() {
-	scenario := flag.String("scenario", "WS4", "workload scenario WS1..WS8")
+	scenarioFlag := flag.String("scenario", "WS4", "workload scenario WS1..WS8, or a generated stream 'gen:jobs=N[;arrivals=…][;sizes=…][;mix=…]' (implies -online)")
 	policy := flag.String("policy", "ECoST", "mapping policy: SM, MNM1, MNM2, SNM, CBM, PTM, ECoST, UB")
 	nodes := flag.Int("nodes", 4, "cluster size")
 	online := flag.Bool("online", false, "run the event-driven online scheduler instead of batch mapping")
-	arrival := flag.Float64("arrival", 0, "mean inter-arrival seconds for -online (0 = all at t=0)")
+	arrival := flag.Float64("arrival", 0, "mean inter-arrival seconds for -online workload streams (0 = all at t=0)")
+	arrivalsFlag := flag.String("arrivals", "", "override a gen: scenario's arrival process, e.g. poisson:60, mmpp:calm=300,burst=10, diurnal:mean=60,amp=0.8")
 	jobs := flag.Int("jobs", 0, "scale the online job stream to this many jobs by cycling the scenario's list (0 = scenario as-is; requires -online)")
+	traceRecord := flag.String("trace-record", "", "write the arrival stream as a JSONL trace to this file before running (requires -online)")
+	traceReplay := flag.String("trace-replay", "", "replay a recorded JSONL arrival trace instead of generating a stream (requires -online)")
 	seed := flag.Int64("seed", 42, "random seed")
 	emitMetrics := flag.Bool("metrics", false, "collect and print an observability snapshot (implies -online)")
 	metricsJSON := flag.Bool("metrics-json", false, "print the -metrics snapshot as JSON instead of text")
@@ -83,10 +100,20 @@ func main() {
 		slog.Warn("-metrics instruments the online scheduler; enabling -online")
 		*online = true
 	}
+	genMode := strings.HasPrefix(*scenarioFlag, "gen:")
+	if genMode && !*online {
+		slog.Warn("gen: scenarios drive the online scheduler; enabling -online")
+		*online = true
+	}
 	if msg := (runFlags{
 		Online:          *online,
 		Nodes:           *nodes,
 		Jobs:            *jobs,
+		Arrival:         *arrival,
+		ScenarioGen:     genMode,
+		Arrivals:        *arrivalsFlag,
+		TraceRecord:     *traceRecord,
+		TraceReplay:     *traceReplay,
 		Metrics:         *emitMetrics,
 		MetricsJSON:     *metricsJSON,
 		MetricsVolatile: *metricsVolatile,
@@ -99,11 +126,15 @@ func main() {
 		cliutil.Usagef(msg)
 	}
 
-	wl, err := core.Scenario(*scenario)
-	if err != nil {
-		cliutil.Usagef("bad -scenario", "err", err)
+	var wl core.Workload
+	if !genMode && *traceReplay == "" {
+		var err error
+		wl, err = core.Scenario(*scenarioFlag)
+		if err != nil {
+			cliutil.Usagef("bad -scenario", "err", err)
+		}
+		fmt.Printf("scenario %s %s\n%s\n\n", wl.Name, wl.ClassSignature(), wl.AppSignature())
 	}
-	fmt.Printf("scenario %s %s\n%s\n\n", wl.Name, wl.ClassSignature(), wl.AppSignature())
 
 	slog.Info("building environment (database + models)")
 	env, err := experiments.NewEnv(experiments.FastOptions())
@@ -140,7 +171,16 @@ func main() {
 			}()
 			fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s/\n", ln.Addr())
 		}
-		runOnline(env, wl, eng, tr, aud, *nodes, *jobs, *arrival, *seed, reg)
+		arrivals, header, perJobTable := buildStream(wl, genMode, *scenarioFlag, *arrivalsFlag, *traceReplay, *jobs, *arrival, *seed, *nodes)
+		if *traceRecord != "" {
+			if err := writeArtifact(*traceRecord, func(w io.Writer) error {
+				return scenario.WriteTrace(w, arrivals)
+			}); err != nil {
+				cliutil.Fatalf("writing -trace-record failed", "err", err)
+			}
+			slog.Info("recorded arrival trace", "path", *traceRecord, "arrivals", len(arrivals))
+		}
+		runOnline(env, eng, tr, aud, *nodes, arrivals, reg, header, perJobTable)
 		if *traceOut != "" {
 			if err := writeArtifact(*traceOut, tr.WriteChromeTrace); err != nil {
 				cliutil.Fatalf("writing -trace-out failed", "err", err)
@@ -227,7 +267,55 @@ func writeArtifact(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *tracing.Tracer, aud *audit.Log, nodes, jobs int, arrival float64, seed int64, reg *metrics.Registry) {
+// buildStream resolves the online arrival stream from the three
+// sources, in precedence order: a replayed JSONL trace, a generated
+// gen: scenario, or the named workload cycled through
+// scenario.FromWorkload (the -jobs path; 0 keeps the scenario as-is).
+// It returns the stream, the run header, and whether the per-job
+// completion table should be printed (plain workload runs only —
+// stream runs report queueing observables instead).
+func buildStream(wl core.Workload, genMode bool, scenarioFlag, arrivalsFlag, traceReplay string, jobs int, arrival float64, seed int64, nodes int) ([]trace.Arrival, string, bool) {
+	if traceReplay != "" {
+		f, err := os.Open(traceReplay)
+		if err != nil {
+			cliutil.Fatalf("opening -trace-replay failed", "err", err)
+		}
+		arrivals, err := scenario.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			cliutil.Fatalf("reading -trace-replay failed", "err", err)
+		}
+		header := fmt.Sprintf("online ECoST on %d node(s), replaying %s (%d arrivals):", nodes, traceReplay, len(arrivals))
+		return arrivals, header, false
+	}
+	if genMode {
+		spec, err := scenario.ParseSpec(scenarioFlag)
+		if err != nil {
+			cliutil.Usagef("bad -scenario gen: spec", "err", err)
+		}
+		spec.Seed = seed
+		if arrivalsFlag != "" {
+			spec.Arrivals, err = scenario.ParseArrivals(arrivalsFlag)
+			if err != nil {
+				cliutil.Usagef("bad -arrivals", "err", err)
+			}
+		}
+		arrivals, err := scenario.Generate(spec)
+		if err != nil {
+			cliutil.Usagef("bad -scenario gen: spec", "err", err)
+		}
+		header := fmt.Sprintf("online ECoST on %d node(s), scenario %s, seed %d:", nodes, spec.String(), seed)
+		return arrivals, header, false
+	}
+	arrivals, err := scenario.FromWorkload(wl, jobs, arrival, seed)
+	if err != nil {
+		cliutil.Fatalf("building workload stream failed", "err", err)
+	}
+	header := fmt.Sprintf("online ECoST on %d node(s), mean inter-arrival %.0fs:", nodes, arrival)
+	return arrivals, header, jobs == 0
+}
+
+func runOnline(env *experiments.Env, eng *sim.Engine, tr *tracing.Tracer, aud *audit.Log, nodes int, arrivals []trace.Arrival, reg *metrics.Registry, header string, perJobTable bool) {
 	model := mapreduce.NewModel(cluster.AtomC2758())
 	// Recurring jobs re-ask the tuner the same question; the memo cache
 	// answers repeats in one lookup. MeteredSTP unwraps it for the
@@ -249,40 +337,29 @@ func runOnline(env *experiments.Env, wl core.Workload, eng *sim.Engine, tr *trac
 	sched.SetMetrics(reg)
 	sched.SetTracer(tr)
 	sched.SetAudit(aud)
-	stream := wl.Jobs
-	if jobs > 0 {
-		// -jobs scale-out: cycle the scenario's job list to the requested
-		// stream length, modelling the recurring production workloads the
-		// large-cluster path is built for.
-		stream = make([]core.JobSpec, jobs)
-		for i := range stream {
-			stream[i] = wl.Jobs[i%len(wl.Jobs)]
-		}
-	}
-	rng := sim.NewRNG(seed)
-	at := 0.0
-	arrivals := make([]trace.Arrival, 0, len(stream))
-	for _, j := range stream {
-		arrivals = append(arrivals, trace.Arrival{At: at, App: j.App, SizeGB: j.SizeGB})
-		sched.Submit(j.App, j.SizeGB, at)
-		if arrival > 0 {
-			at += rng.Exp(arrival)
-		}
+	for _, a := range arrivals {
+		sched.Submit(a.App, a.SizeGB, a.At)
 	}
 	trace.Record(arrivals, reg)
 	makespan, energy, err := sched.Run()
 	if err != nil {
 		cliutil.Fatalf("online run failed", "err", err)
 	}
-	fmt.Printf("online ECoST on %d node(s), mean inter-arrival %.0fs:\n", nodes, arrival)
+	fmt.Println(header)
 	fmt.Printf("  makespan %.0f s, energy %.0f J, EDP %.4g J·s\n\n", makespan, energy, energy*makespan)
-	if jobs > 0 {
-		fmt.Printf("%d jobs completed (per-job table suppressed for -jobs scale-out runs)\n", len(sched.Completed()))
+	done := sched.Completed()
+	if !perJobTable {
+		fmt.Printf("%d jobs completed\n", len(done))
+		qs := experiments.StreamStats(done, nodes, makespan)
+		fmt.Printf("  utilization        %.3f\n", qs.Utilization)
+		fmt.Printf("  queue length       mean %.2f, p95 %.0f, max %d\n", qs.MeanQueueLen, qs.P95QueueLen, qs.MaxQueueLen)
+		fmt.Printf("  wait p50/p95/p99   %.1f / %.1f / %.1f s\n", qs.WaitP50, qs.WaitP95, qs.WaitP99)
+		fmt.Printf("  sojourn p50/p95/p99 %.1f / %.1f / %.1f s\n", qs.SojournP50, qs.SojournP95, qs.SojournP99)
 		return
 	}
 	fmt.Printf("%-4s %-5s %-6s %-5s %9s %9s %9s %5s %s\n",
 		"id", "app", "class", "size", "submit", "start", "finish", "node", "config")
-	for _, c := range sched.Completed() {
+	for _, c := range done {
 		fmt.Printf("%-4d %-5s %-6v %4.0fG %9.0f %9.0f %9.0f %5d %v\n",
 			c.ID, c.App, c.Class, c.SizeGB, c.Submitted, c.Started, c.Finished, c.Node, c.Cfg)
 	}

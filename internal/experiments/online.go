@@ -63,16 +63,50 @@ func OnlineQualityObserved(env *Env, spec trace.Spec, nodes int) (Table, OnlineD
 }
 
 func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool, tuner core.STP, aud *audit.Log) (Table, OnlineData, tracing.Report, error) {
-	var data OnlineData
-	var rep tracing.Report
 	arrivals, err := trace.Generate(spec)
+	if err != nil {
+		return Table{}, OnlineData{}, tracing.Report{}, err
+	}
+	data, rep, _, err := runOnlineStream(env, arrivals, nodes, traced, tuner, aud)
 	if err != nil {
 		return Table{}, data, rep, err
 	}
+	tbl := Table{
+		Title:  fmt.Sprintf("Online ECoST: %d jobs, %d node(s), mean inter-arrival %.0fs", data.Jobs, nodes, spec.MeanInterarrival),
+		Header: []string{"metric", "value"},
+	}
+	addOnlineRows(&tbl, data)
+	if traced {
+		tbl.AddRow("attributed energy (kJ)", rep.AttributedJ/1000)
+		tbl.Notes = append(tbl.Notes,
+			"attributed energy is the solo+co-located share of the bill carried by job run spans")
+	}
+	return tbl, data, rep, nil
+}
+
+// addOnlineRows appends the shared summary rows of an online run.
+func addOnlineRows(tbl *Table, data OnlineData) {
+	tbl.AddRow("makespan (s)", data.Makespan)
+	tbl.AddRow("energy (kJ)", data.EnergyJ/1000)
+	tbl.AddRow("EDP (J·s)", data.EDP)
+	tbl.AddRow("mean wait (s)", data.MeanWait)
+	tbl.AddRow("max wait (s)", data.MaxWait)
+	tbl.AddRow("mean sojourn (s)", data.MeanElapsed)
+	tbl.Notes = append(tbl.Notes,
+		"head-of-queue reservation bounds the maximum wait (no starvation)")
+}
+
+// runOnlineStream drives one online-scheduler run over a prepared
+// arrival stream (generated trace, scenario stream, or replayed JSONL
+// trace) and summarizes it. The completed jobs are returned for
+// queueing analysis (StreamStats).
+func runOnlineStream(env *Env, arrivals []trace.Arrival, nodes int, traced bool, tuner core.STP, aud *audit.Log) (OnlineData, tracing.Report, []core.CompletedJob, error) {
+	var data OnlineData
+	var rep tracing.Report
 	eng := sim.NewEngine()
 	sched, err := core.NewOnlineScheduler(eng, env.Model, env.DB, tuner, env.Profiler, nodes)
 	if err != nil {
-		return Table{}, data, rep, err
+		return data, rep, nil, err
 	}
 	var tr *tracing.Tracer
 	if traced {
@@ -85,7 +119,7 @@ func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool, tuner core.S
 	}
 	makespan, energy, err := sched.Run()
 	if err != nil {
-		return Table{}, data, rep, err
+		return data, rep, nil, err
 	}
 	data.Jobs = len(arrivals)
 	data.Makespan = makespan
@@ -105,24 +139,8 @@ func onlineTrace(env *Env, spec trace.Spec, nodes int, traced bool, tuner core.S
 		data.MeanWait /= float64(len(done))
 		data.MeanElapsed /= float64(len(done))
 	}
-
-	tbl := Table{
-		Title:  fmt.Sprintf("Online ECoST: %d jobs, %d node(s), mean inter-arrival %.0fs", data.Jobs, nodes, spec.MeanInterarrival),
-		Header: []string{"metric", "value"},
-	}
-	tbl.AddRow("makespan (s)", data.Makespan)
-	tbl.AddRow("energy (kJ)", data.EnergyJ/1000)
-	tbl.AddRow("EDP (J·s)", data.EDP)
-	tbl.AddRow("mean wait (s)", data.MeanWait)
-	tbl.AddRow("max wait (s)", data.MaxWait)
-	tbl.AddRow("mean sojourn (s)", data.MeanElapsed)
-	tbl.Notes = append(tbl.Notes,
-		"head-of-queue reservation bounds the maximum wait (no starvation)")
 	if traced {
 		rep = tr.Report()
-		tbl.AddRow("attributed energy (kJ)", rep.AttributedJ/1000)
-		tbl.Notes = append(tbl.Notes,
-			"attributed energy is the solo+co-located share of the bill carried by job run spans")
 	}
-	return tbl, data, rep, nil
+	return data, rep, done, nil
 }

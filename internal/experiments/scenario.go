@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ecost/internal/core"
+	"ecost/internal/scenario"
+	"ecost/internal/trace"
+)
+
+// QueueStats are the queueing observables the paper never measured:
+// cluster utilization, the wait-queue length distribution, and wait /
+// sojourn percentiles. All derive deterministically from the completed
+// jobs, so two identical runs report identical stats.
+type QueueStats struct {
+	// Utilization is busy node-seconds (union of resident intervals
+	// per node) over nodes × makespan.
+	Utilization float64
+
+	// Time-weighted wait-queue length distribution over [0, makespan]:
+	// jobs submitted but not yet started.
+	MeanQueueLen float64
+	P95QueueLen  float64
+	MaxQueueLen  int
+
+	// Wait (start − submit) and sojourn (finish − submit) percentiles.
+	WaitP50, WaitP95, WaitP99          float64
+	SojournP50, SojournP95, SojournP99 float64
+}
+
+// StreamStats computes the queueing observables of a finished online
+// run. makespan bounds the busy-time integral; it is the scheduler's
+// reported makespan (max finish time).
+func StreamStats(done []core.CompletedJob, nodes int, makespan float64) QueueStats {
+	var qs QueueStats
+	if len(done) == 0 || nodes <= 0 || makespan <= 0 {
+		return qs
+	}
+
+	// Utilization: per-node union of [Started, Finished) intervals
+	// (co-located jobs overlap; the union counts the wall time the
+	// node held at least one resident).
+	type iv struct{ s, e float64 }
+	byNode := map[int][]iv{}
+	for _, c := range done {
+		byNode[c.Node] = append(byNode[c.Node], iv{c.Started, c.Finished})
+	}
+	busy := 0.0
+	for _, ivs := range byNode {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		curS, curE := ivs[0].s, ivs[0].e
+		for _, v := range ivs[1:] {
+			if v.s > curE {
+				busy += curE - curS
+				curS, curE = v.s, v.e
+				continue
+			}
+			if v.e > curE {
+				curE = v.e
+			}
+		}
+		busy += curE - curS
+	}
+	qs.Utilization = busy / (float64(nodes) * makespan)
+
+	// Wait-queue length over time: +1 at submit, −1 at start, swept in
+	// time order with time-weighted durations per level.
+	type ev struct {
+		at float64
+		d  int
+	}
+	evs := make([]ev, 0, 2*len(done))
+	for _, c := range done {
+		evs = append(evs, ev{c.Submitted, +1}, ev{c.Started, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].d < evs[j].d // starts drain before same-instant submits
+	})
+	levelDur := map[int]float64{}
+	depth, prevAt := 0, 0.0
+	for _, e := range evs {
+		if e.at > prevAt {
+			levelDur[depth] += e.at - prevAt
+			prevAt = e.at
+		}
+		depth += e.d
+		if depth > qs.MaxQueueLen {
+			qs.MaxQueueLen = depth
+		}
+	}
+	if makespan > prevAt {
+		levelDur[depth] += makespan - prevAt
+	}
+	levels := make([]int, 0, len(levelDur))
+	total := 0.0
+	for l, d := range levelDur {
+		levels = append(levels, l)
+		total += d
+		qs.MeanQueueLen += float64(l) * d
+	}
+	if total > 0 {
+		qs.MeanQueueLen /= total
+		sort.Ints(levels)
+		cum := 0.0
+		qs.P95QueueLen = float64(levels[len(levels)-1])
+		for _, l := range levels {
+			cum += levelDur[l]
+			if cum >= 0.95*total {
+				qs.P95QueueLen = float64(l)
+				break
+			}
+		}
+	}
+
+	waits := make([]float64, 0, len(done))
+	sojourns := make([]float64, 0, len(done))
+	for _, c := range done {
+		waits = append(waits, c.Started-c.Submitted)
+		sojourns = append(sojourns, c.Finished-c.Submitted)
+	}
+	sort.Float64s(waits)
+	sort.Float64s(sojourns)
+	qs.WaitP50, qs.WaitP95, qs.WaitP99 = pct(waits, 0.50), pct(waits, 0.95), pct(waits, 0.99)
+	qs.SojournP50, qs.SojournP95, qs.SojournP99 = pct(sojourns, 0.50), pct(sojourns, 0.95), pct(sojourns, 0.99)
+	return qs
+}
+
+// pct is the nearest-rank percentile of a sorted sample.
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// AddRows appends the stats to a result table.
+func (qs QueueStats) AddRows(tbl *Table) {
+	tbl.AddRow("utilization", qs.Utilization)
+	tbl.AddRow("mean queue length", qs.MeanQueueLen)
+	tbl.AddRow("p95 queue length", qs.P95QueueLen)
+	tbl.AddRow("max queue length", qs.MaxQueueLen)
+	tbl.AddRow("wait p50/p95/p99 (s)", fmt.Sprintf("%.1f / %.1f / %.1f", qs.WaitP50, qs.WaitP95, qs.WaitP99))
+	tbl.AddRow("sojourn p50/p95/p99 (s)", fmt.Sprintf("%.1f / %.1f / %.1f", qs.SojournP50, qs.SojournP95, qs.SojournP99))
+}
+
+// OnlineScenario drives the online ECoST scheduler with a generated
+// scenario stream (internal/scenario) and reports cluster EDP plus the
+// queueing observables. It is OnlineTrace for production-shaped load:
+// open-loop arrival processes, heavy-tailed sizes, recurring tenants.
+func OnlineScenario(env *Env, spec scenario.Spec, nodes int) (Table, OnlineData, QueueStats, error) {
+	arrivals, err := scenario.Generate(spec)
+	if err != nil {
+		return Table{}, OnlineData{}, QueueStats{}, err
+	}
+	return onlineScenarioArrivals(env, spec.String(), arrivals, nodes)
+}
+
+// OnlineReplay drives the scheduler with a pre-parsed arrival stream
+// (a replayed JSONL trace). The run is indistinguishable from the
+// generating run: identical streams produce identical tables.
+func OnlineReplay(env *Env, label string, arrivals []trace.Arrival, nodes int) (Table, OnlineData, QueueStats, error) {
+	return onlineScenarioArrivals(env, label, arrivals, nodes)
+}
+
+func onlineScenarioArrivals(env *Env, label string, arrivals []trace.Arrival, nodes int) (Table, OnlineData, QueueStats, error) {
+	data, _, done, err := runOnlineStream(env, arrivals, nodes, false, env.LkT, nil)
+	if err != nil {
+		return Table{}, data, QueueStats{}, err
+	}
+	qs := StreamStats(done, nodes, data.Makespan)
+	tbl := Table{
+		Title:  fmt.Sprintf("Online ECoST scenario: %s, %d node(s)", label, nodes),
+		Header: []string{"metric", "value"},
+	}
+	addOnlineRows(&tbl, data)
+	qs.AddRows(&tbl)
+	tbl.Notes = append(tbl.Notes,
+		"utilization is busy node-time over nodes x makespan; queue lengths are time-weighted")
+	return tbl, data, qs, nil
+}
+
+// CurvePoint is one load level of a utilization-vs-EDP sweep.
+type CurvePoint struct {
+	MeanGap     float64 // requested mean inter-arrival (s)
+	Utilization float64
+	EDP         float64
+	EnergyJ     float64
+	Makespan    float64
+	MeanWait    float64
+	SojournP95  float64
+	MeanQueue   float64
+}
+
+// UtilizationCurve sweeps the arrival rate of a base scenario across
+// the given mean inter-arrival gaps and reports utilization vs. EDP —
+// the saturation study the paper never ran. Each point reruns the
+// scenario with the same seed and substreams, so only the arrival
+// tempo changes (the Split contract keeps apps and sizes pinned).
+func UtilizationCurve(env *Env, base scenario.Spec, nodes int, meanGaps []float64) (Table, []CurvePoint, error) {
+	tbl := Table{
+		Title:  fmt.Sprintf("Utilization vs. EDP: %s, %d node(s)", base.String(), nodes),
+		Header: []string{"mean gap (s)", "utilization", "EDP (J·s)", "energy (kJ)", "mean wait (s)", "p95 sojourn (s)", "mean queue"},
+	}
+	var points []CurvePoint
+	for _, gap := range meanGaps {
+		spec := base
+		spec.Arrivals = withMeanGap(base.Arrivals, gap)
+		_, data, qs, err := OnlineScenario(env, spec, nodes)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		p := CurvePoint{
+			MeanGap:     gap,
+			Utilization: qs.Utilization,
+			EDP:         data.EDP,
+			EnergyJ:     data.EnergyJ,
+			Makespan:    data.Makespan,
+			MeanWait:    data.MeanWait,
+			SojournP95:  qs.SojournP95,
+			MeanQueue:   qs.MeanQueueLen,
+		}
+		points = append(points, p)
+		tbl.AddRow(p.MeanGap, p.Utilization, p.EDP, p.EnergyJ/1000, p.MeanWait, p.SojournP95, p.MeanQueue)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"each row reruns the scenario at a different arrival tempo; apps and sizes stay pinned (Split substreams)")
+	return tbl, points, nil
+}
+
+// withMeanGap retunes an arrival process to a new mean gap, preserving
+// its shape: Poisson/fixed/diurnal move their mean, MMPP scales both
+// regime means proportionally, and the batch process becomes Poisson
+// (a batch has no rate to sweep).
+func withMeanGap(a scenario.ArrivalSpec, gap float64) scenario.ArrivalSpec {
+	switch a.Kind {
+	case scenario.ArrivalMMPP:
+		// Stationary regime occupancy from the stay probabilities.
+		pc := (1 - a.BurstStay) / ((1 - a.CalmStay) + (1 - a.BurstStay))
+		cur := pc*a.CalmMean + (1-pc)*a.BurstMean
+		f := gap / cur
+		a.CalmMean *= f
+		a.BurstMean *= f
+	case scenario.ArrivalFixed, scenario.ArrivalPoisson, scenario.ArrivalDiurnal:
+		a.Mean = gap
+	default:
+		a = scenario.ArrivalSpec{Kind: scenario.ArrivalPoisson, Mean: gap}
+	}
+	return a
+}

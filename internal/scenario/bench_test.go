@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkScenarioGen measures generator throughput on the kitchen-
+// sink stream (MMPP arrivals, Pareto sizes, Zipf tenants — every
+// substream active). Guarded by cmd/benchguard in CI; the jobs/s
+// metric is the headline number BENCH_PERF.json records.
+func BenchmarkScenarioGen(b *testing.B) {
+	const jobs = 10000
+	spec := heavySpecBench(jobs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr) != jobs {
+			b.Fatalf("%d arrivals", len(tr))
+		}
+	}
+	b.ReportMetric(float64(jobs)/(b.Elapsed().Seconds()/float64(b.N)), "jobs/s")
+}
+
+// heavySpecBench mirrors heavySpec without the testing.T plumbing.
+func heavySpecBench(jobs int) Spec {
+	return Spec{
+		Jobs: jobs,
+		Seed: 42,
+		Arrivals: ArrivalSpec{Kind: ArrivalMMPP,
+			CalmMean: 120, BurstMean: 5, CalmStay: 0.95, BurstStay: 0.85},
+		Sizes: SizeSpec{Kind: SizePareto, Alpha: 1.5, Min: 1},
+		Mix:   MixSpec{Kind: MixZipf, S: 1.1, Tenants: 40},
+	}
+}
+
+// BenchmarkTraceWrite / BenchmarkTraceRead record the JSONL
+// serialization cost of a 10k-job stream (records, not gates).
+func BenchmarkTraceWrite(b *testing.B) {
+	tr, err := Generate(heavySpecBench(10000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceRead(b *testing.B) {
+	tr, err := Generate(heavySpecBench(10000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadTrace(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

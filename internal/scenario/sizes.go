@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"ecost/internal/sim"
+	"ecost/internal/workloads"
+)
+
+// SizeKind selects an input-size distribution.
+type SizeKind int
+
+const (
+	// SizeDefault is the unspecified-size zero value: per-arrival
+	// draws fall back to the Table-3 mix, and the cycle mix keeps the
+	// workload's own sizes. An explicit `sizes=` clause overrides
+	// cycle sizes per arrival and shapes the per-tenant templates of
+	// the zipf mix (recurring jobs keep recurring sizes).
+	SizeDefault SizeKind = iota
+	// SizeTable3 draws uniformly from the paper's studied 1/5/10 GB
+	// set (the empirical Table-3 mix).
+	SizeTable3
+	// SizeFixed pins every job to one size.
+	SizeFixed
+	// SizePareto draws from a (optionally truncated) Pareto
+	// distribution — the classic heavy-tailed model for MapReduce
+	// input sizes.
+	SizePareto
+	// SizeLognormal draws from a lognormal distribution, optionally
+	// capped.
+	SizeLognormal
+)
+
+func (k SizeKind) String() string {
+	switch k {
+	case SizeDefault:
+		return "default"
+	case SizeTable3:
+		return "table3"
+	case SizeFixed:
+		return "fixed"
+	case SizePareto:
+		return "pareto"
+	case SizeLognormal:
+		return "lognormal"
+	default:
+		return fmt.Sprintf("SizeKind(%d)", int(k))
+	}
+}
+
+// maxSizeGB caps sampled input sizes: the execution model is
+// calibrated on per-node inputs, and a multi-PB outlier would turn one
+// job into the whole makespan. Heavy tails are studied up to this cap.
+const maxSizeGB = 4096
+
+// SizeSpec parameterizes a size distribution. The zero value is
+// SizeDefault.
+type SizeSpec struct {
+	Kind SizeKind
+	// GB is the fixed size for SizeFixed.
+	GB float64
+	// Alpha is the Pareto tail index (> 0; smaller = heavier tail);
+	// Min the scale (left edge); Max an optional truncation point
+	// (0 = cap at maxSizeGB).
+	Alpha, Min, Max float64
+	// Mu/Sigma parameterize the lognormal in log-space; Max caps the
+	// draw (0 = cap at maxSizeGB).
+	Mu, Sigma float64
+}
+
+func (s SizeSpec) validate() error {
+	switch s.Kind {
+	case SizeDefault, SizeTable3:
+		return nil
+	case SizeFixed:
+		if !(s.GB > 0) || math.IsInf(s.GB, 0) || s.GB > maxSizeGB {
+			return specErrf("sizes", "fixed size %v GB must be in (0, %d]", s.GB, maxSizeGB)
+		}
+		return nil
+	case SizePareto:
+		if !(s.Alpha > 0) || math.IsInf(s.Alpha, 0) {
+			return specErrf("sizes", "pareto alpha %v must be positive and finite", s.Alpha)
+		}
+		if !(s.Min > 0) || math.IsInf(s.Min, 0) || s.Min > maxSizeGB {
+			return specErrf("sizes", "pareto min %v GB must be in (0, %d]", s.Min, maxSizeGB)
+		}
+		if s.Max != 0 && (math.IsNaN(s.Max) || s.Max <= s.Min || s.Max > maxSizeGB) {
+			return specErrf("sizes", "pareto max %v GB must be 0 (cap at %d) or in (min, %d]", s.Max, maxSizeGB, maxSizeGB)
+		}
+		return nil
+	case SizeLognormal:
+		if math.IsNaN(s.Mu) || math.IsInf(s.Mu, 0) || math.Abs(s.Mu) > 20 {
+			return specErrf("sizes", "lognormal mu %v must be finite with |mu| <= 20", s.Mu)
+		}
+		if !(s.Sigma >= 0) || math.IsInf(s.Sigma, 0) || s.Sigma > 5 {
+			return specErrf("sizes", "lognormal sigma %v must be in [0, 5]", s.Sigma)
+		}
+		if s.Max != 0 && (math.IsNaN(s.Max) || s.Max <= 0 || s.Max > maxSizeGB) {
+			return specErrf("sizes", "lognormal max %v GB must be 0 (cap at %d) or in (0, %d]", s.Max, maxSizeGB, maxSizeGB)
+		}
+		return nil
+	default:
+		return specErrf("sizes", "unknown size kind %v", s.Kind)
+	}
+}
+
+// sizeGen samples one size per call from its own substream.
+type sizeGen struct {
+	spec   SizeSpec
+	rng    *sim.RNG
+	table3 []float64
+}
+
+func newSizeGen(spec SizeSpec, rng *sim.RNG) *sizeGen {
+	return &sizeGen{spec: spec, rng: rng, table3: workloads.DataSizesGB()}
+}
+
+func (g *sizeGen) next() float64 {
+	switch g.spec.Kind {
+	case SizeFixed:
+		return g.spec.GB
+	case SizePareto:
+		max := g.spec.Max
+		if max == 0 {
+			max = maxSizeGB
+		}
+		// Inverse CDF of the Pareto truncated to [min, max]: exact
+		// truncation, no resampling, one uniform per draw.
+		ratio := math.Pow(g.spec.Min/max, g.spec.Alpha)
+		u := g.rng.Float64() * (1 - ratio)
+		return g.spec.Min * math.Pow(1-u, -1/g.spec.Alpha)
+	case SizeLognormal:
+		max := g.spec.Max
+		if max == 0 {
+			max = maxSizeGB
+		}
+		x := g.rng.LogNormal(g.spec.Mu, g.spec.Sigma)
+		if x > max {
+			x = max
+		}
+		if x <= 0 { // exp underflow at extreme mu/sigma
+			x = math.SmallestNonzeroFloat64
+		}
+		return x
+	default: // SizeDefault, SizeTable3
+		return g.table3[g.rng.Intn(len(g.table3))]
+	}
+}

@@ -1,0 +1,340 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The -scenario spec grammar (see DESIGN.md §13):
+//
+//	gen:jobs=N[;arrivals=PROC][;sizes=DIST][;mix=MIX]
+//
+// with clauses separated by ';' and clause parameters by ','. Each
+// clause value is KIND[:PARAMS]; single-parameter kinds take the bare
+// value (poisson:120), multi-parameter kinds take key=value pairs:
+//
+//	arrivals: all | fixed:GAP | poisson:MEAN
+//	          | mmpp:calm=G,burst=G[,pcalm=P][,pburst=P]
+//	          | diurnal:mean=G[,amp=A][,period=S]
+//	sizes:    table3 | fixed:GB | pareto:alpha=A[,min=GB][,max=GB]
+//	          | lognormal:mu=M[,sigma=S][,max=GB]
+//	mix:      uniform | unknown | cycle:WSn | zipf:s=S,tenants=N[,unknown]
+//
+// Parsing is strict: unknown clauses, unknown parameters, duplicate
+// clauses and malformed numbers are *SpecError rejections, never
+// guesses. ParseSpec(s.String()) round-trips every valid spec (the
+// fuzzer pins this).
+
+// Grammar defaults, used when a clause omits the parameter.
+const (
+	defaultMMPPCalmStay  = 0.98
+	defaultMMPPBurstStay = 0.90
+	defaultDiurnalAmp    = 0.5
+	defaultDiurnalPeriod = 86400 // one day
+	defaultParetoMin     = 1
+	defaultLognormalMu   = 1.2
+	defaultLognormSigma  = 0.8
+)
+
+// ParseSpec parses the full `gen:` grammar (the prefix is optional so
+// sub-commands can pass the bare clause list). The resulting spec is
+// validated; Seed stays 0 for the caller to fill in.
+func ParseSpec(s string) (Spec, error) {
+	body := strings.TrimPrefix(s, "gen:")
+	if body == "" {
+		return Spec{}, specErrf("spec", "empty scenario spec")
+	}
+	var spec Spec
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(body, ";") {
+		key, val, found := strings.Cut(clause, "=")
+		if !found {
+			return Spec{}, specErrf("spec", "clause %q is not key=value", clause)
+		}
+		if seen[key] {
+			return Spec{}, specErrf("spec", "duplicate clause %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "jobs":
+			spec.Jobs, err = parsePositiveInt("jobs", val, MaxJobs)
+		case "arrivals":
+			spec.Arrivals, err = ParseArrivals(val)
+		case "sizes":
+			spec.Sizes, err = ParseSizes(val)
+		case "mix":
+			spec.Mix, err = ParseMix(val)
+		default:
+			err = specErrf("spec", "unknown clause %q (want jobs, arrivals, sizes, mix)", key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if spec.Jobs == 0 {
+		return Spec{}, specErrf("jobs", "spec must set jobs=N")
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// String renders the canonical grammar form of the spec (gen: prefix,
+// defaults filled in). An unspecified size distribution is omitted
+// rather than rendered as table3: for the cycle mix the two differ
+// (SizeDefault keeps the workload's own sizes), and ParseSpec of the
+// rendering must mean exactly what the spec means.
+func (s Spec) String() string {
+	out := fmt.Sprintf("gen:jobs=%d;arrivals=%s", s.Jobs, s.Arrivals)
+	if s.Sizes.Kind != SizeDefault {
+		out += ";sizes=" + s.Sizes.String()
+	}
+	return out + ";mix=" + s.Mix.String()
+}
+
+// ParseArrivals parses one arrivals clause value.
+func ParseArrivals(val string) (ArrivalSpec, error) {
+	kind, params, _ := strings.Cut(val, ":")
+	var a ArrivalSpec
+	switch kind {
+	case "all":
+		if params != "" {
+			return a, specErrf("arrivals", "all takes no parameters, got %q", params)
+		}
+		a.Kind = ArrivalAll
+	case "fixed", "poisson":
+		a.Kind = ArrivalFixed
+		if kind == "poisson" {
+			a.Kind = ArrivalPoisson
+		}
+		mean, err := parseFloat("arrivals", kind+" mean gap", params)
+		if err != nil {
+			return a, err
+		}
+		a.Mean = mean
+	case "mmpp":
+		a.Kind = ArrivalMMPP
+		a.CalmStay, a.BurstStay = defaultMMPPCalmStay, defaultMMPPBurstStay
+		err := parseParams("arrivals", params, map[string]*float64{
+			"calm": &a.CalmMean, "burst": &a.BurstMean,
+			"pcalm": &a.CalmStay, "pburst": &a.BurstStay,
+		}, nil)
+		if err != nil {
+			return a, err
+		}
+	case "diurnal":
+		a.Kind = ArrivalDiurnal
+		a.Amplitude, a.Period = defaultDiurnalAmp, defaultDiurnalPeriod
+		err := parseParams("arrivals", params, map[string]*float64{
+			"mean": &a.Mean, "amp": &a.Amplitude, "period": &a.Period,
+		}, nil)
+		if err != nil {
+			return a, err
+		}
+	default:
+		return a, specErrf("arrivals", "unknown arrival process %q (want all, fixed, poisson, mmpp, diurnal)", kind)
+	}
+	return a, a.validate()
+}
+
+// String renders the canonical clause value for the spec.
+func (a ArrivalSpec) String() string {
+	switch a.Kind {
+	case ArrivalFixed, ArrivalPoisson:
+		return fmt.Sprintf("%s:%s", a.Kind, fmtNum(a.Mean))
+	case ArrivalMMPP:
+		return fmt.Sprintf("mmpp:calm=%s,burst=%s,pcalm=%s,pburst=%s",
+			fmtNum(a.CalmMean), fmtNum(a.BurstMean), fmtNum(a.CalmStay), fmtNum(a.BurstStay))
+	case ArrivalDiurnal:
+		return fmt.Sprintf("diurnal:mean=%s,amp=%s,period=%s",
+			fmtNum(a.Mean), fmtNum(a.Amplitude), fmtNum(a.Period))
+	default:
+		return "all"
+	}
+}
+
+// ParseSizes parses one sizes clause value.
+func ParseSizes(val string) (SizeSpec, error) {
+	kind, params, _ := strings.Cut(val, ":")
+	var s SizeSpec
+	switch kind {
+	case "table3":
+		if params != "" {
+			return s, specErrf("sizes", "table3 takes no parameters, got %q", params)
+		}
+		s.Kind = SizeTable3
+	case "fixed":
+		s.Kind = SizeFixed
+		gb, err := parseFloat("sizes", "fixed size GB", params)
+		if err != nil {
+			return s, err
+		}
+		s.GB = gb
+	case "pareto":
+		s.Kind = SizePareto
+		s.Min = defaultParetoMin
+		err := parseParams("sizes", params, map[string]*float64{
+			"alpha": &s.Alpha, "min": &s.Min, "max": &s.Max,
+		}, nil)
+		if err != nil {
+			return s, err
+		}
+	case "lognormal":
+		s.Kind = SizeLognormal
+		s.Mu, s.Sigma = defaultLognormalMu, defaultLognormSigma
+		err := parseParams("sizes", params, map[string]*float64{
+			"mu": &s.Mu, "sigma": &s.Sigma, "max": &s.Max,
+		}, nil)
+		if err != nil {
+			return s, err
+		}
+	default:
+		return s, specErrf("sizes", "unknown size distribution %q (want table3, fixed, pareto, lognormal)", kind)
+	}
+	return s, s.validate()
+}
+
+// String renders the canonical clause value for the spec.
+func (s SizeSpec) String() string {
+	switch s.Kind {
+	case SizeFixed:
+		return "fixed:" + fmtNum(s.GB)
+	case SizePareto:
+		out := fmt.Sprintf("pareto:alpha=%s,min=%s", fmtNum(s.Alpha), fmtNum(s.Min))
+		if s.Max != 0 {
+			out += ",max=" + fmtNum(s.Max)
+		}
+		return out
+	case SizeLognormal:
+		out := fmt.Sprintf("lognormal:mu=%s,sigma=%s", fmtNum(s.Mu), fmtNum(s.Sigma))
+		if s.Max != 0 {
+			out += ",max=" + fmtNum(s.Max)
+		}
+		return out
+	default:
+		return "table3"
+	}
+}
+
+// ParseMix parses one mix clause value.
+func ParseMix(val string) (MixSpec, error) {
+	kind, params, _ := strings.Cut(val, ":")
+	var m MixSpec
+	switch kind {
+	case "uniform", "unknown":
+		if params != "" {
+			return m, specErrf("mix", "%s takes no parameters, got %q", kind, params)
+		}
+		m.Kind = MixUniform
+		m.Unknown = kind == "unknown"
+	case "cycle":
+		m.Kind = MixCycle
+		if params == "" {
+			return m, specErrf("mix", "cycle needs a workload, e.g. cycle:WS4")
+		}
+		m.Workload = params
+	case "zipf":
+		m.Kind = MixZipf
+		var tenants float64
+		err := parseParams("mix", params, map[string]*float64{
+			"s": &m.S, "tenants": &tenants,
+		}, map[string]*bool{"unknown": &m.Unknown})
+		if err != nil {
+			return m, err
+		}
+		if tenants != float64(int(tenants)) {
+			return m, specErrf("mix", "zipf tenants=%v must be an integer", tenants)
+		}
+		m.Tenants = int(tenants)
+	default:
+		return m, specErrf("mix", "unknown mix %q (want uniform, unknown, cycle, zipf)", kind)
+	}
+	return m, m.validate()
+}
+
+// String renders the canonical clause value for the spec.
+func (m MixSpec) String() string {
+	switch m.Kind {
+	case MixCycle:
+		return "cycle:" + m.Workload
+	case MixZipf:
+		out := fmt.Sprintf("zipf:s=%s,tenants=%d", fmtNum(m.S), m.Tenants)
+		if m.Unknown {
+			out += ",unknown"
+		}
+		return out
+	default:
+		if m.Unknown {
+			return "unknown"
+		}
+		return "uniform"
+	}
+}
+
+// fmtNum renders a float in the shortest form that parses back
+// identically (round-trip safe for the String goldens).
+func fmtNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// parseFloat parses one bare numeric parameter. NaN and infinities are
+// rejected here so every downstream validate sees ordinary numbers.
+func parseFloat(field, what, s string) (float64, error) {
+	if s == "" {
+		return 0, specErrf(field, "%s is missing", what)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, specErrf(field, "%s: %q is not a number", what, s)
+	}
+	return v, nil
+}
+
+// parseParams parses a comma-separated key=value list into the given
+// numeric slots, plus optional bare boolean flags. Unknown or
+// duplicate keys are rejections.
+func parseParams(field, params string, nums map[string]*float64, flags map[string]*bool) error {
+	if params == "" {
+		// All-defaults is only coherent when no slot is mandatory;
+		// validate() catches missing mandatory values (still zero).
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, p := range strings.Split(params, ",") {
+		key, val, found := strings.Cut(p, "=")
+		if seen[key] {
+			return specErrf(field, "duplicate parameter %q", key)
+		}
+		seen[key] = true
+		if !found {
+			if b, ok := flags[key]; ok {
+				*b = true
+				continue
+			}
+			return specErrf(field, "parameter %q is not key=value", p)
+		}
+		slot, ok := nums[key]
+		if !ok {
+			return specErrf(field, "unknown parameter %q", key)
+		}
+		v, err := parseFloat(field, key, val)
+		if err != nil {
+			return err
+		}
+		*slot = v
+	}
+	return nil
+}
+
+// parsePositiveInt parses a bounded positive integer clause value.
+func parsePositiveInt(field, s string, max int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, specErrf(field, "%q is not an integer", s)
+	}
+	if v < 1 || v > max {
+		return 0, specErrf(field, "%d outside 1..%d", v, max)
+	}
+	return v, nil
+}
