@@ -29,13 +29,14 @@ import (
 
 	"ecost/internal/cliutil"
 	"ecost/internal/experiments"
+	"ecost/internal/scenario"
 	"ecost/internal/trace"
 )
 
 // experimentNames is the closed set -exp accepts.
 var experimentNames = []string{
 	"all", "fig1", "fig2", "fig3", "fig5", "table1", "table2", "table3",
-	"fig8", "fig9", "ablations", "online",
+	"fig8", "fig9", "ablations", "online", "sharded",
 }
 
 func main() {
@@ -215,6 +216,23 @@ func main() {
 			fmt.Printf("online wall throughput: %.0f jobs simulated/s (%d jobs in %s)\n\n",
 				float64(spec.N)/elapsed.Seconds(), spec.N, elapsed.Round(time.Millisecond))
 		}
+		return t, err
+	})
+	run("sharded", func() (experiments.Table, error) {
+		// Control-plane throughput vs shard count on one recurring-tenant
+		// stream: offered load matches the large-cluster benchmark
+		// (mean inter-arrival 1536/nodes seconds).
+		const shardedNodes = 64
+		spec := scenario.Spec{
+			Jobs: 512,
+			Seed: 42,
+			Arrivals: scenario.ArrivalSpec{
+				Kind: scenario.ArrivalPoisson, Mean: 1536.0 / shardedNodes,
+			},
+			Sizes: scenario.SizeSpec{Kind: scenario.SizePareto, Alpha: 1.6, Min: 1, Max: 12},
+			Mix:   scenario.MixSpec{Kind: scenario.MixZipf, S: 1.1, Tenants: 12},
+		}
+		t, _, err := experiments.ShardSweep(env, spec, shardedNodes, []int{1, 2, 4, 8, 16})
 		return t, err
 	})
 }

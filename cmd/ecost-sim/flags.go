@@ -22,6 +22,13 @@ type runFlags struct {
 	EDPReport       bool
 	QualityReport   bool
 	ServeAddr       string
+
+	// Shards is the -shards value and ShardsSet whether the user passed
+	// the flag at all (the default 1 is the unsharded control plane and
+	// needs no -online; an explicit -shards is an online request).
+	Shards    int
+	ShardsSet bool
+	Steal     bool
 }
 
 // onlineOnly lists the flags that are meaningless without the online
@@ -42,6 +49,8 @@ func (f runFlags) onlineOnly() []struct {
 		{"-edp-report", f.EDPReport},
 		{"-quality-report", f.QualityReport},
 		{"-serve", f.ServeAddr != ""},
+		{"-shards", f.ShardsSet},
+		{"-steal", f.Steal},
 	}
 }
 
@@ -59,6 +68,25 @@ func (f runFlags) contradiction() string {
 	}
 	if (f.MetricsJSON || f.MetricsVolatile) && !f.Metrics {
 		return "-metrics-json and -metrics-volatile shape the -metrics snapshot; pass -metrics as well"
+	}
+	if f.ShardsSet && f.Shards < 1 {
+		return "-shards must be at least 1 (1 = the single unsharded control plane)"
+	}
+	if f.Shards > f.Nodes {
+		return "-shards cannot exceed -nodes; every shard owns at least one node"
+	}
+	if f.Steal && f.Shards < 2 {
+		return "-steal migrates queued jobs between shards; pass -shards 2 or more"
+	}
+	if f.Shards > 1 {
+		// The sharded control plane runs one scheduler per shard; the
+		// single-stream exporters are not wired across shards.
+		if f.TraceOut != "" {
+			return "-trace-out writes one merged Chrome trace; the sharded control plane exports per-shard spans — use -timeline-out, or -shards 1"
+		}
+		if f.ServeAddr != "" {
+			return "-serve exposes a single run's registries; not wired for the sharded control plane — use -metrics, or -shards 1"
+		}
 	}
 	if f.TraceReplay != "" {
 		// A replayed trace IS the stream; every other stream-shaping

@@ -64,6 +64,27 @@ func TestFlagContradictions(t *testing.T) {
 		// The metrics-shape check wins over the online-only check: it is
 		// about a missing -metrics, not a missing -online.
 		{"json and trace-out both wrong", runFlags{MetricsJSON: true, TraceOut: "t.json"}, "-metrics-json"},
+		// Sharded control plane: -shards must be explicit, positive,
+		// bounded by the cluster size, and online; -steal needs a victim.
+		{"shards offline", runFlags{Shards: 4, ShardsSet: true, Nodes: 8}, "-shards requires the online scheduler"},
+		// ShardsSet deliberately false: with it set, the -shards rejection
+		// fires first (onlineOnly reports flags in listing order).
+		{"steal offline", runFlags{Steal: true, Shards: 2, Nodes: 8}, "-steal requires the online scheduler"},
+		{"shards online", runFlags{Online: true, Shards: 4, ShardsSet: true, Nodes: 8}, ""},
+		{"shards zero", runFlags{Online: true, Shards: 0, ShardsSet: true, Nodes: 8}, "-shards must be at least 1"},
+		{"shards negative", runFlags{Online: true, Shards: -2, ShardsSet: true, Nodes: 8}, "-shards must be at least 1"},
+		{"shards exceed nodes", runFlags{Online: true, Shards: 16, ShardsSet: true, Nodes: 8}, "-shards cannot exceed -nodes"},
+		{"shards equal nodes", runFlags{Online: true, Shards: 8, ShardsSet: true, Nodes: 8}, ""},
+		{"steal single shard", runFlags{Online: true, Steal: true, Shards: 1, ShardsSet: true, Nodes: 8}, "-steal migrates queued jobs between shards"},
+		{"steal default shards", runFlags{Online: true, Steal: true, Shards: 1, Nodes: 8}, "-steal migrates queued jobs between shards"},
+		{"steal with shards", runFlags{Online: true, Steal: true, Shards: 2, ShardsSet: true, Nodes: 8}, ""},
+		{"shards with trace-out", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, "-trace-out writes one merged Chrome trace"},
+		{"shards with serve", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, ServeAddr: ":0"}, "-serve exposes a single run's registries"},
+		{"single shard with trace-out", runFlags{Online: true, Shards: 1, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, ""},
+		{"shards with timeline and metrics", runFlags{
+			Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true,
+			Metrics: true, TimelineOut: "t.txt", QualityReport: true, EDPReport: true,
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,8 +103,8 @@ func TestFlagContradictions(t *testing.T) {
 	}
 	// Completeness guard: every online-only flag is represented in the
 	// rejection table above.
-	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x"}
-	if got := len(all.onlineOnly()); got != 8 {
+	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x", ShardsSet: true, Steal: true}
+	if got := len(all.onlineOnly()); got != 10 {
 		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
 	}
 }

@@ -89,6 +89,8 @@ func main() {
 	edpReport := flag.Bool("edp-report", false, "print the per-job / per-class EDP attribution report after the online run (requires -online)")
 	qualityReport := flag.Bool("quality-report", false, "print the decision-quality report (confusion, STP error, regret, drift) after the online run (requires -online)")
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /report, /decisions, /quality, and /debug/pprof/ on this address during and after the online run (requires -online)")
+	shards := flag.Int("shards", 1, "partition the online cluster into this many per-shard schedulers with hash-routed submissions (requires -online; 1 = the single control plane)")
+	steal := flag.Bool("steal", false, "let idle shards steal queued jobs at event barriers (requires -shards 2+)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
@@ -105,6 +107,12 @@ func main() {
 		slog.Warn("gen: scenarios drive the online scheduler; enabling -online")
 		*online = true
 	}
+	shardsSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "shards" {
+			shardsSet = true
+		}
+	})
 	if msg := (runFlags{
 		Online:          *online,
 		Nodes:           *nodes,
@@ -122,6 +130,9 @@ func main() {
 		EDPReport:       *edpReport,
 		QualityReport:   *qualityReport,
 		ServeAddr:       *serveAddr,
+		Shards:          *shards,
+		ShardsSet:       shardsSet,
+		Steal:           *steal,
 	}).contradiction(); msg != "" {
 		cliutil.Usagef(msg)
 	}
@@ -143,6 +154,26 @@ func main() {
 	}
 
 	if *online {
+		arrivals, header, perJobTable := buildStream(wl, genMode, *scenarioFlag, *arrivalsFlag, *traceReplay, *jobs, *arrival, *seed, *nodes)
+		if *traceRecord != "" {
+			if err := writeArtifact(*traceRecord, func(w io.Writer) error {
+				return scenario.WriteTrace(w, arrivals)
+			}); err != nil {
+				cliutil.Fatalf("writing -trace-record failed", "err", err)
+			}
+			slog.Info("recorded arrival trace", "path", *traceRecord, "arrivals", len(arrivals))
+		}
+		if *shards > 1 {
+			runOnlineSharded(env, *nodes, *shards, *steal, arrivals, header, perJobTable, shardedOut{
+				metrics:         *emitMetrics,
+				metricsJSON:     *metricsJSON,
+				metricsVolatile: *metricsVolatile,
+				timelineOut:     *timelineOut,
+				edpReport:       *edpReport,
+				qualityReport:   *qualityReport,
+			})
+			return
+		}
 		var reg *metrics.Registry
 		if *emitMetrics || *serveAddr != "" {
 			reg = metrics.NewRegistry()
@@ -170,15 +201,6 @@ func main() {
 				}
 			}()
 			fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s/\n", ln.Addr())
-		}
-		arrivals, header, perJobTable := buildStream(wl, genMode, *scenarioFlag, *arrivalsFlag, *traceReplay, *jobs, *arrival, *seed, *nodes)
-		if *traceRecord != "" {
-			if err := writeArtifact(*traceRecord, func(w io.Writer) error {
-				return scenario.WriteTrace(w, arrivals)
-			}); err != nil {
-				cliutil.Fatalf("writing -trace-record failed", "err", err)
-			}
-			slog.Info("recorded arrival trace", "path", *traceRecord, "arrivals", len(arrivals))
 		}
 		runOnline(env, eng, tr, aud, *nodes, arrivals, reg, header, perJobTable)
 		if *traceOut != "" {

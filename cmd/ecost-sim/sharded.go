@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ecost/internal/audit"
+	"ecost/internal/cliutil"
+	"ecost/internal/cluster"
+	"ecost/internal/core"
+	"ecost/internal/experiments"
+	"ecost/internal/mapreduce"
+	"ecost/internal/metrics"
+	"ecost/internal/trace"
+	"ecost/internal/tracing"
+)
+
+// shardedOut selects which observability artifacts the sharded runner
+// produces. Every export is per shard (each shard owns its registry,
+// tracer, and audit log — they are written concurrently during epochs),
+// printed or written as "== shard N ==" sections in shard order.
+type shardedOut struct {
+	metrics         bool
+	metricsJSON     bool
+	metricsVolatile bool
+	timelineOut     string
+	edpReport       bool
+	qualityReport   bool
+}
+
+// runOnlineSharded drives the arrival stream through the sharded
+// control plane: per-shard schedulers over disjoint node slices,
+// hash-routed submissions, and (with -steal) deterministic work
+// stealing at event barriers. Output mirrors runOnline, plus a
+// shards/steals line and per-shard observability sections.
+func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arrivals []trace.Arrival, header string, perJobTable bool, out shardedOut) {
+	model := mapreduce.NewModel(cluster.AtomC2758())
+	regs := make([]*metrics.Registry, shards)
+	if out.metrics {
+		for i := range regs {
+			regs[i] = metrics.NewRegistry()
+		}
+	}
+	next := 0
+	newTuner := func() core.STP {
+		reg := regs[next]
+		next++
+		return core.NewMemoSTP(env.LkT, reg)
+	}
+	sched, err := core.NewShardedScheduler(model, env.DB, env.Profiler, newTuner, nodes,
+		core.ShardedConfig{Shards: shards, Steal: steal})
+	if err != nil {
+		cliutil.Fatalf("building sharded scheduler failed", "err", err)
+	}
+	trs := make([]*tracing.Tracer, shards)
+	auds := make([]*audit.Log, shards)
+	for i := 0; i < shards; i++ {
+		sh := sched.Shard(i)
+		if regs[i] != nil {
+			sh.SetMetrics(regs[i])
+		}
+		if out.timelineOut != "" || out.edpReport {
+			trs[i] = tracing.New(sh.Engine.Clock())
+			sh.SetTracer(trs[i])
+		}
+		if out.qualityReport {
+			auds[i] = audit.NewLog(audit.DriftConfig{})
+			sh.SetAudit(auds[i])
+		}
+	}
+	for _, a := range arrivals {
+		sched.Submit(a.App, a.SizeGB, a.At)
+	}
+	makespan, energy, err := sched.Run()
+	if err != nil {
+		cliutil.Fatalf("sharded online run failed", "err", err)
+	}
+	fmt.Println(header)
+	fmt.Printf("  makespan %.0f s, energy %.0f J, EDP %.4g J·s\n", makespan, energy, energy*makespan)
+	fmt.Printf("  %d shard(s), %d steal(s)\n\n", sched.Shards(), sched.Steals())
+	done := sched.Completed()
+	if !perJobTable {
+		fmt.Printf("%d jobs completed\n", len(done))
+		qs := experiments.StreamStats(done, nodes, makespan)
+		fmt.Printf("  utilization        %.3f\n", qs.Utilization)
+		fmt.Printf("  queue length       mean %.2f, p95 %.0f, max %d\n", qs.MeanQueueLen, qs.P95QueueLen, qs.MaxQueueLen)
+		fmt.Printf("  wait p50/p95/p99   %.1f / %.1f / %.1f s\n", qs.WaitP50, qs.WaitP95, qs.WaitP99)
+		fmt.Printf("  sojourn p50/p95/p99 %.1f / %.1f / %.1f s\n", qs.SojournP50, qs.SojournP95, qs.SojournP99)
+	} else {
+		fmt.Printf("%-4s %-5s %-6s %-5s %9s %9s %9s %5s %s\n",
+			"id", "app", "class", "size", "submit", "start", "finish", "node", "config")
+		for _, c := range done {
+			fmt.Printf("%-4d %-5s %-6v %4.0fG %9.0f %9.0f %9.0f %5d %v\n",
+				c.ID, c.App, c.Class, c.SizeGB, c.Submitted, c.Started, c.Finished, c.Node, c.Cfg)
+		}
+	}
+
+	if out.timelineOut != "" {
+		if err := writeArtifact(out.timelineOut, func(w io.Writer) error {
+			for i, tr := range trs {
+				if _, err := fmt.Fprintf(w, "== shard %d ==\n", i); err != nil {
+					return err
+				}
+				if err := tr.WriteTimeline(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			cliutil.Fatalf("writing -timeline-out failed", "err", err)
+		}
+	}
+	if out.edpReport {
+		for i, tr := range trs {
+			fmt.Printf("\n== shard %d ==\n", i)
+			if err := tr.Report().WriteText(os.Stdout); err != nil {
+				cliutil.Fatalf("writing -edp-report failed", "err", err)
+			}
+		}
+	}
+	if out.qualityReport {
+		qualityOracle := core.NewAuditOracle(env.Oracle)
+		for i, aud := range auds {
+			fmt.Printf("\n== shard %d ==\n", i)
+			if err := aud.Quality(qualityOracle).WriteText(os.Stdout); err != nil {
+				cliutil.Fatalf("writing -quality-report failed", "err", err)
+			}
+		}
+	}
+	if out.metrics {
+		for i, reg := range regs {
+			fmt.Printf("\n== shard %d ==\n", i)
+			snap := reg.Snapshot(out.metricsVolatile)
+			var werr error
+			if out.metricsJSON {
+				werr = snap.WriteJSON(os.Stdout)
+			} else {
+				werr = snap.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				cliutil.Fatalf("writing -metrics snapshot failed", "err", werr)
+			}
+		}
+	}
+}

@@ -84,6 +84,16 @@ type Database struct {
 	Rows    map[ClassPair][]TrainRow
 	classer *Classifier
 	oracle  *Oracle
+
+	// partnerOnce guards the lazily-built PartnerPriority cache. The
+	// ranking is a pure function of Entries (which are frozen after
+	// build/load), yet the uncached computation re-ran pairBenefits —
+	// an ILAO lookup per database entry plus a sort — on every pairing
+	// dispatch, ~28% of a large online run. One build serves every
+	// class and every shard; the sync.Once makes the first call safe
+	// from concurrent shard goroutines.
+	partnerOnce sync.Once
+	partnerPrio map[workloads.Class][]workloads.Class
 }
 
 // BuildOptions controls database construction cost.
@@ -546,28 +556,42 @@ type RankedPair struct {
 // PartnerPriority distils the ranking into the scheduler's decision
 // order: given a running application's class, which partner class to
 // prefer from the wait queue (the paper reads I first, then H/C, then M
-// off Figure 5; here the order falls out of the database).
+// off Figure 5; here the order falls out of the database). The returned
+// slice is cached and shared — callers must treat it as read-only.
 func (db *Database) PartnerPriority(running workloads.Class) []workloads.Class {
+	db.partnerOnce.Do(db.buildPartnerPriority)
+	return db.partnerPrio[running]
+}
+
+// buildPartnerPriority materializes the decision order for every class
+// in one pass. The per-class loop, tie-break, and underlying
+// pairBenefits iteration are identical to the previous per-call
+// computation, so the cached orders are the exact slices the uncached
+// path produced.
+func (db *Database) buildPartnerPriority() {
 	benefits := db.pairBenefits()
+	db.partnerPrio = make(map[workloads.Class][]workloads.Class, len(workloads.Classes()))
 	type score struct {
 		c workloads.Class
 		b float64
 	}
-	var scores []score
-	for _, c := range workloads.Classes() {
-		if b, ok := benefits[NewClassPair(running, c)]; ok {
-			scores = append(scores, score{c, b})
+	for _, running := range workloads.Classes() {
+		var scores []score
+		for _, c := range workloads.Classes() {
+			if b, ok := benefits[NewClassPair(running, c)]; ok {
+				scores = append(scores, score{c, b})
+			}
 		}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].b != scores[j].b {
-			return scores[i].b > scores[j].b
+		sort.Slice(scores, func(i, j int) bool {
+			if scores[i].b != scores[j].b {
+				return scores[i].b > scores[j].b
+			}
+			return scores[i].c < scores[j].c
+		})
+		out := make([]workloads.Class, len(scores))
+		for i, s := range scores {
+			out[i] = s.c
 		}
-		return scores[i].c < scores[j].c
-	})
-	out := make([]workloads.Class, len(scores))
-	for i, s := range scores {
-		out[i] = s.c
+		db.partnerPrio[running] = out
 	}
-	return out
 }

@@ -32,3 +32,14 @@ func (s nodeSet) min() (int, bool) {
 	}
 	return 0, false
 }
+
+// count returns the number of members. The work-stealing pass uses it
+// to size a starved shard's claim budget; it runs only at epoch
+// barriers, so the O(words) popcount walk is off the hot path.
+func (s nodeSet) count() int {
+	n := 0
+	for _, word := range s.words {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}

@@ -39,6 +39,38 @@ type OnlineScheduler struct {
 	// for equivalence testing and baseline benchmarks; see SetNaive.
 	naive bool
 
+	// base offsets node ids in every export (metrics events, span
+	// attributes, audit rows, CompletedJob.Node) so a shard owning
+	// nodes [base, base+len) reports cluster-global ids while its
+	// internal indexes stay dense. Zero for the unsharded scheduler.
+	base int
+
+	// fastAcc selects the O(1) aggregate accrual path: reschedule
+	// maintains phaseWatts, the running sum of cached node draws per
+	// occupancy phase (0 idle, 1 solo, 2 co-located), and accrueEnergy
+	// integrates the three sums instead of walking every node. Summing
+	// incrementally reassociates the float adds, so total energy can
+	// differ from the per-node walk in the last ulps (golden-tested to
+	// 1e-9 relative); scheduling decisions never read energy, so
+	// makespan and every placement stay bit-identical. The fast path
+	// only engages when no per-node attribution is needed (tracer and
+	// audit off, not naive); see SetFastAccrual.
+	fastAcc    bool
+	phaseWatts [3]float64
+
+	// steadyMemo caches steady-state contention solves by the exact
+	// model inputs (per-resident app name, data size, configuration, in
+	// resident order). Steady is a pure function of those inputs, so a
+	// hit returns bit-identical times and watts — the cache is
+	// transparent to every golden — while recurring tenant pairs skip
+	// the fluid solver entirely. Nil when disabled; see SetSteadyMemo.
+	steadyMemo map[steadyKey]steadyVal
+
+	// freeCnt / halfCnt mirror the dispatch bitmaps' populations so
+	// FreeSlots — called per shard at every steal barrier — is O(1)
+	// instead of a popcount walk.
+	freeCnt, halfCnt int
+
 	// idleWatts caches the empty-node steady-state draw (bit-identical
 	// to Model.Steady(nil)); scratch is the reusable RunSpec buffer the
 	// reschedule path builds resident specs into; freeSet / halfSet
@@ -106,6 +138,27 @@ type schedMetrics struct {
 	driftAlert  *metrics.Gauge   // stp.drift_alert: 0 healthy, latched 1 on alarm
 	driftAlerts *metrics.Counter // audit.drift_alerts: alarms fired
 	relErr      map[string]*metrics.Histogram
+
+	// Steal counters, registered lazily on first use so steal-free
+	// runs' snapshots stay byte-identical to the unsharded scheduler's.
+	stealsIn  *metrics.Counter // sched.steals_in: jobs claimed from neighbors
+	stealsOut *metrics.Counter // sched.steals_out: queued jobs claimed away
+}
+
+// stealIn lazily registers the jobs-claimed-from-neighbors counter.
+func (m *schedMetrics) stealIn() *metrics.Counter {
+	if m.stealsIn == nil {
+		m.stealsIn = m.reg.Counter("sched.steals_in")
+	}
+	return m.stealsIn
+}
+
+// stealOut lazily registers the jobs-claimed-away counter.
+func (m *schedMetrics) stealOut() *metrics.Counter {
+	if m.stealsOut == nil {
+		m.stealsOut = m.reg.Counter("sched.steals_out")
+	}
+	return m.stealsOut
 }
 
 // waitFor returns the per-class wait-latency histogram.
@@ -197,7 +250,7 @@ func (s *OnlineScheduler) SetTracer(tr *tracing.Tracer) {
 	s.nodeSpans = make([]*tracing.Span, len(s.nodes))
 	for _, n := range s.nodes {
 		s.nodeSpans[n.id] = tr.Start(tracing.KindNode, power.PhaseName(0), nil,
-			tracing.Attrs{Job: -1, Node: n.id})
+			tracing.Attrs{Job: -1, Node: s.gid(n)})
 	}
 }
 
@@ -228,7 +281,7 @@ func (s *OnlineScheduler) rollOccupancySlow(n *onlineNode) {
 		names = append(names, r.job.Obs.App.Name)
 	}
 	s.nodeSpans[n.id] = s.tracer.Start(tracing.KindNode, power.PhaseName(len(n.residents)), nil,
-		tracing.Attrs{Job: -1, Node: n.id, Detail: strings.Join(names, "+")})
+		tracing.Attrs{Job: -1, Node: s.gid(n), Detail: strings.Join(names, "+")})
 }
 
 // sampleDepth records the queue depth at the current sim-time. Like
@@ -281,6 +334,22 @@ type onlineNode struct {
 	// the idle draw when the node empties, so the accrual path reads it
 	// instead of re-solving the execution model per node per event.
 	watts float64
+
+	// rates is the reusable progress-rate buffer the completion closure
+	// reads: a cancelled event never fires and a live event is always
+	// cancelled before the next reschedule refills the buffer, so the
+	// backing array is never read after being overwritten.
+	rates []float64
+
+	// accWatts/accPhase are the contribution this node currently makes
+	// to the scheduler's phaseWatts sums under fast accrual: the watts
+	// last folded in and the phase bucket they went into. reschedule
+	// subtracts the old contribution and adds the new one; every
+	// resident-set or configuration mutation is followed by a
+	// reschedule before the next accrual, so the sums are always
+	// consistent with the per-node caches at integration time.
+	accWatts float64
+	accPhase int8
 }
 
 // NewOnlineScheduler builds a scheduler over `nodes` single-node lanes.
@@ -310,6 +379,7 @@ func NewOnlineScheduler(eng *sim.Engine, model *mapreduce.Model, db *Database, t
 		s.nodes = append(s.nodes, &onlineNode{id: i, watts: s.idleWatts})
 		s.freeSet.set(i, true)
 	}
+	s.freeCnt = nodes
 	return s, nil
 }
 
@@ -321,6 +391,100 @@ func NewOnlineScheduler(eng *sim.Engine, model *mapreduce.Model, db *Database, t
 // comparisons. Call before the first Submit.
 func (s *OnlineScheduler) SetNaive(v bool) { s.naive = v }
 
+// SetNodeBase sets the cluster-global id of this scheduler's first
+// node: a shard owning nodes [base, base+n) keeps dense internal
+// indexes but exports global ids everywhere an id leaves the scheduler.
+// Call before the first Submit (and before SetTracer, so the initial
+// occupancy spans carry global ids).
+func (s *OnlineScheduler) SetNodeBase(base int) { s.base = base }
+
+// NodeBase returns the cluster-global id of this scheduler's first node.
+func (s *OnlineScheduler) NodeBase() int { return s.base }
+
+// gid maps a node's dense internal index to its cluster-global id.
+func (s *OnlineScheduler) gid(n *onlineNode) int { return s.base + n.id }
+
+// SetFastAccrual enables the O(1) aggregate energy-accrual path (see
+// the fastAcc field). It only takes effect while no tracer and no
+// audit log are attached and the scheduler is not in naive mode —
+// per-node and per-job energy attribution need the per-node walk.
+// Call before the first Submit.
+func (s *OnlineScheduler) SetFastAccrual(v bool) {
+	s.fastAcc = v
+	if !v {
+		return
+	}
+	// Seed the phase sums from the current (all-idle) node caches.
+	s.phaseWatts = [3]float64{}
+	for _, n := range s.nodes {
+		n.accWatts = n.watts
+		n.accPhase = nodePhase(len(n.residents))
+		s.phaseWatts[n.accPhase] += n.accWatts
+	}
+}
+
+// nodePhase buckets a resident count into the phase accumulator's
+// categories: 0 idle, 1 solo, 2 co-located.
+func nodePhase(residents int) int8 {
+	if residents > 2 {
+		residents = 2
+	}
+	return int8(residents)
+}
+
+// steadySpecKey identifies one resident's contention-solver inputs.
+// Applications are identified by name — unique in the workload
+// registry — so equal keys mean equal RunSpecs.
+type steadySpecKey struct {
+	app    string
+	dataMB float64
+	cfg    mapreduce.Config
+}
+
+// steadyKey is a full node's solver input: up to two residents in
+// resident order (order matters — the returned states are positional).
+type steadyKey struct {
+	a, b steadySpecKey
+	n    int8
+}
+
+// steadyVal is one cached solve.
+type steadyVal struct {
+	sts   [2]mapreduce.SteadyState
+	watts float64
+}
+
+// steadyKeyOf builds the memo key for a 1- or 2-resident spec list.
+func steadyKeyOf(specs []mapreduce.RunSpec) steadyKey {
+	k := steadyKey{
+		a: steadySpecKey{specs[0].App.Name, specs[0].DataMB, specs[0].Cfg},
+		n: int8(len(specs)),
+	}
+	if len(specs) == 2 {
+		k.b = steadySpecKey{specs[1].App.Name, specs[1].DataMB, specs[1].Cfg}
+	}
+	return k
+}
+
+// steadyMemoCap bounds the memo; at the cap it clears wholesale (the
+// MemoSTP policy: recurring streams re-warm instantly, adversarial key
+// churn cannot grow memory).
+const steadyMemoCap = 4096
+
+// SetSteadyMemo toggles memoization of per-node steady-state solves.
+// A hit is bit-identical to the solve it replaces (Steady is pure in
+// its spec list), so the memo composes with every equivalence golden;
+// it pays off when tenants recur — the sharded control plane enables
+// it on every shard. Nodes holding more than two residents bypass the
+// cache.
+func (s *OnlineScheduler) SetSteadyMemo(v bool) {
+	if v {
+		s.steadyMemo = make(map[steadyKey]steadyVal)
+	} else {
+		s.steadyMemo = nil
+	}
+}
+
 // Submit schedules a job arrival at the given simulated time.
 func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 	id := s.nextID
@@ -331,38 +495,58 @@ func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 		if err != nil {
 			panic(fmt.Sprintf("core: online profile: %v", err)) // model inputs are validated at Submit
 		}
-		j := &Job{
-			ID:      id,
-			Obs:     obs,
-			Class:   s.DB.Classifier().Classify(obs),
-			EstTime: sizeGB,
-			Arrived: at,
-		}
-		s.queue.Push(j)
-		// app.Class is ground truth the prediction path never sees;
-		// recording it next to the Classify verdict is what makes the
-		// confusion matrix possible.
-		s.aud.Submit(id, app.Name, sizeGB, app.Class.String(), j.Class.String(), at)
-		if s.met != nil {
-			s.met.submitted.Inc()
-			s.met.reg.Emit(metrics.Event{
-				At: at, Kind: metrics.EvSubmit, Job: id, Node: -1,
-				Detail: fmt.Sprintf("%s@%gG class=%s", app.Name, sizeGB, j.Class),
-			})
-			s.sampleDepth()
-		}
-		if s.tracer != nil {
-			attrs := tracing.Attrs{
-				Job: id, Node: -1,
-				App: app.Name, Class: j.Class.String(), SizeGB: sizeGB,
-			}
-			js := &jobSpans{}
-			js.job = s.tracer.Start(tracing.KindJob, "job "+app.Name, nil, attrs)
-			js.wait = s.tracer.Start(tracing.KindWait, "wait", js.job, attrs)
-			s.traced[id] = js
-		}
-		s.dispatch()
+		s.arrive(id, obs, at)
 	})
+}
+
+// SubmitObserved schedules an arrival whose profile was measured by the
+// caller — the sharded router profiles serially at submission time (in
+// submission order, so the sampler's draw sequence matches the legacy
+// in-event profiling for nondecreasing arrival times) and hands each
+// shard a ready Observation plus a router-assigned cluster-global job
+// id. Do not mix with Submit on the same scheduler: Submit owns the
+// internal id counter.
+func (s *OnlineScheduler) SubmitObserved(id int, obs Observation, at float64) {
+	s.pending++
+	s.Engine.At(at, func() { s.arrive(id, obs, at) })
+}
+
+// arrive is the in-event half of submission: classify, queue, record,
+// dispatch. obs.SizeGB doubles as the nominal size (Observe preserves
+// the requested size exactly).
+func (s *OnlineScheduler) arrive(id int, obs Observation, at float64) {
+	app, sizeGB := obs.App, obs.SizeGB
+	j := &Job{
+		ID:      id,
+		Obs:     obs,
+		Class:   s.DB.Classifier().Classify(obs),
+		EstTime: sizeGB,
+		Arrived: at,
+	}
+	s.queue.Push(j)
+	// app.Class is ground truth the prediction path never sees;
+	// recording it next to the Classify verdict is what makes the
+	// confusion matrix possible.
+	s.aud.Submit(id, app.Name, sizeGB, app.Class.String(), j.Class.String(), at)
+	if s.met != nil {
+		s.met.submitted.Inc()
+		s.met.reg.Emit(metrics.Event{
+			At: at, Kind: metrics.EvSubmit, Job: id, Node: -1,
+			Detail: fmt.Sprintf("%s@%gG class=%s", app.Name, sizeGB, j.Class),
+		})
+		s.sampleDepth()
+	}
+	if s.tracer != nil {
+		attrs := tracing.Attrs{
+			Job: id, Node: -1,
+			App: app.Name, Class: j.Class.String(), SizeGB: sizeGB,
+		}
+		js := &jobSpans{}
+		js.job = s.tracer.Start(tracing.KindJob, "job "+app.Name, nil, attrs)
+		js.wait = s.tracer.Start(tracing.KindWait, "wait", js.job, attrs)
+		s.traced[id] = js
+	}
+	s.dispatch()
 }
 
 // Completed returns the finished jobs sorted by completion time.
@@ -391,6 +575,16 @@ func (s *OnlineScheduler) Run() (makespan, energyJ float64, err error) {
 	if s.pending > 0 {
 		return 0, 0, fmt.Errorf("core: online scheduler: %d jobs never completed", s.pending)
 	}
+	s.finishRun()
+	return s.Engine.Now(), s.energyJ, nil
+}
+
+// finishRun closes out a drained run at the engine's current clock:
+// the last accrual interval is integrated and open occupancy spans are
+// finished. The sharded control plane advances every shard to the
+// global makespan first, so idle tails are billed exactly as the
+// single-scheduler run bills them.
+func (s *OnlineScheduler) finishRun() {
 	s.accrueEnergy() // close the last interval
 	if s.tracer != nil {
 		now := s.Engine.Now()
@@ -398,7 +592,77 @@ func (s *OnlineScheduler) Run() (makespan, energyJ float64, err error) {
 			sp.FinishAt(now)
 		}
 	}
-	return s.Engine.Now(), s.energyJ, nil
+}
+
+// Pending reports jobs submitted but not yet completed.
+func (s *OnlineScheduler) Pending() int { return s.pending }
+
+// FreeSlots reports how many more residents dispatch could place right
+// now: an empty node absorbs up to two queued jobs (head claim, then a
+// partner), a half-busy node one. The work-stealing pass uses it to
+// bound a starved shard's claim budget. Indexed path only — the
+// sharded control plane never runs naive.
+func (s *OnlineScheduler) FreeSlots() int {
+	if s.MaxPerNode < 2 {
+		return s.freeCnt
+	}
+	return 2*s.freeCnt + s.halfCnt
+}
+
+// releaseHead removes the wait queue's head for migration to another
+// shard at barrier time `at` (the engine must already be advanced to
+// at). The victim closes the job's open spans and forgets it — the
+// audit record stays submit-only, documenting where the job first
+// landed — while the thief re-registers it under the same global id.
+// Returns nil when the queue is empty.
+func (s *OnlineScheduler) releaseHead(at float64) *Job {
+	j := s.queue.PopHead()
+	if j == nil {
+		return nil
+	}
+	s.pending--
+	if s.met != nil {
+		s.met.stealOut().Inc()
+		s.sampleDepth()
+	}
+	if s.tracer != nil {
+		if js := s.traced[j.ID]; js != nil {
+			js.wait.FinishAt(at)
+			js.job.FinishAt(at)
+			delete(s.traced, j.ID)
+		}
+	}
+	return j
+}
+
+// acceptStolen registers a job claimed from neighbor shard `from` at
+// barrier time `at` (the engine must already be advanced to at). The
+// job keeps its global id, observation, class, and original arrival
+// time — wait-latency metrics still measure from first submission —
+// and opens fresh spans plus a fresh audit record in this shard's
+// exports. The caller dispatches after the claim batch.
+func (s *OnlineScheduler) acceptStolen(j *Job, from int, at float64) {
+	s.pending++
+	s.queue.Push(j)
+	s.aud.Submit(j.ID, j.Obs.App.Name, j.Obs.SizeGB, j.Obs.App.Class.String(), j.Class.String(), j.Arrived)
+	if s.met != nil {
+		s.met.stealIn().Inc()
+		s.met.reg.Emit(metrics.Event{
+			At: at, Kind: metrics.EvSteal, Job: j.ID, Node: -1,
+			Detail: fmt.Sprintf("from=shard%d arrived=%g", from, j.Arrived),
+		})
+		s.sampleDepth()
+	}
+	if s.tracer != nil {
+		attrs := tracing.Attrs{
+			Job: j.ID, Node: -1,
+			App: j.Obs.App.Name, Class: j.Class.String(), SizeGB: j.Obs.SizeGB,
+		}
+		js := &jobSpans{}
+		js.job = s.tracer.Start(tracing.KindJob, "job "+j.Obs.App.Name, nil, attrs)
+		js.wait = s.tracer.Start(tracing.KindWait, "wait", js.job, attrs)
+		s.traced[j.ID] = js
+	}
 }
 
 // accrueEnergy integrates cluster power since the last update.
@@ -416,6 +680,22 @@ func (s *OnlineScheduler) accrueEnergy() {
 	now := s.Engine.Now()
 	dt := now - s.lastUpdate
 	if dt <= 0 {
+		return
+	}
+	if s.fastAcc && s.tracer == nil && s.aud == nil && !s.naive {
+		// O(1) aggregate path: integrate the phase sums reschedule
+		// maintains instead of walking the node array. At 16k nodes the
+		// per-node walk is the dominant cost of every event.
+		s.phases.IdleJ += s.phaseWatts[0] * dt
+		s.phases.SoloJ += s.phaseWatts[1] * dt
+		s.phases.CoJ += s.phaseWatts[2] * dt
+		s.energyJ += (s.phaseWatts[0] + s.phaseWatts[1] + s.phaseWatts[2]) * dt
+		s.lastUpdate = now
+		if s.met != nil {
+			s.met.energyIdle.Set(s.phases.IdleJ)
+			s.met.energySolo.Set(s.phases.SoloJ)
+			s.met.energyPaired.Set(s.phases.CoJ)
+		}
 		return
 	}
 	var watts float64
@@ -491,11 +771,41 @@ func (s *OnlineScheduler) specsInto(n *onlineNode) []mapreduce.RunSpec {
 	return out
 }
 
-// occupancyChanged refreshes the dispatch indexes after a node's
-// resident count changed (a placement or a completion).
+// refreshPhaseWatts folds a node's freshly-cached draw into the fast
+// accrual's phase sums, retiring its previous contribution. Called
+// from reschedule only — the single point where n.watts changes.
+func (s *OnlineScheduler) refreshPhaseWatts(n *onlineNode) {
+	if !s.fastAcc {
+		return
+	}
+	s.phaseWatts[n.accPhase] -= n.accWatts
+	n.accPhase = nodePhase(len(n.residents))
+	n.accWatts = n.watts
+	s.phaseWatts[n.accPhase] += n.accWatts
+}
+
+// occupancyChanged refreshes the dispatch indexes (and their mirror
+// counts) after a node's resident count changed (a placement or a
+// completion).
 func (s *OnlineScheduler) occupancyChanged(n *onlineNode) {
-	s.freeSet.set(n.id, len(n.residents) == 0)
-	s.halfSet.set(n.id, len(n.residents) == 1)
+	free := len(n.residents) == 0
+	half := len(n.residents) == 1
+	if s.freeSet.has(n.id) != free {
+		if free {
+			s.freeCnt++
+		} else {
+			s.freeCnt--
+		}
+		s.freeSet.set(n.id, free)
+	}
+	if s.halfSet.has(n.id) != half {
+		if half {
+			s.halfCnt++
+		} else {
+			s.halfCnt--
+		}
+		s.halfSet.set(n.id, half)
+	}
 }
 
 // dispatch places queued jobs: empty slots are filled head-first; a node
@@ -564,13 +874,13 @@ func (s *OnlineScheduler) dispatch() {
 					s.met.pairs.Inc()
 					s.met.reg.Counter("sched.pair." + running.String() + "+" + j.Class.String()).Inc()
 					s.met.reg.Emit(metrics.Event{
-						At: now, Kind: metrics.EvPair, Job: j.ID, Node: target.id,
+						At: now, Kind: metrics.EvPair, Job: j.ID, Node: s.gid(target),
 						Detail: fmt.Sprintf("partner=%s running=%s", j.Class, running),
 					})
 					if branch == audit.BranchPairLeap {
 						s.met.leaps.Inc()
 						s.met.reg.Emit(metrics.Event{
-							At: now, Kind: metrics.EvLeap, Job: j.ID, Node: target.id,
+							At: now, Kind: metrics.EvLeap, Job: j.ID, Node: s.gid(target),
 							Detail: fmt.Sprintf("over=%d", leapOver),
 						})
 					}
@@ -581,7 +891,7 @@ func (s *OnlineScheduler) dispatch() {
 			if j != nil && s.met != nil {
 				s.met.reserves.Inc()
 				s.met.reg.Emit(metrics.Event{
-					At: s.Engine.Now(), Kind: metrics.EvReserve, Job: j.ID, Node: target.id,
+					At: s.Engine.Now(), Kind: metrics.EvReserve, Job: j.ID, Node: s.gid(target),
 					Detail: "head claims fresh slot",
 				})
 			}
@@ -612,7 +922,7 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leap
 		partner = n.residents[0]
 	}
 	if s.aud != nil {
-		s.aud.Place(j.ID, n.id, now, branch, leapOver)
+		s.aud.Place(j.ID, s.gid(n), now, branch, leapOver)
 		s.aud.Tune(j.ID, s.Tuner.Name(), cfg.String(), ti.path, ti.exp)
 		if partner != nil {
 			var pred audit.Expectation
@@ -623,7 +933,7 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leap
 				pred = ti.exp
 				s.aud.Retune(partner.job.ID, partner.cfg.String())
 			}
-			s.aud.Paired(partner.job.ID, j.ID, n.id, now, branch, pred)
+			s.aud.Paired(partner.job.ID, j.ID, s.gid(n), now, branch, pred)
 		}
 	}
 	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
@@ -632,7 +942,7 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leap
 		js := s.traced[j.ID]
 		js.wait.FinishAt(now)
 		attrs := tracing.Attrs{
-			Job: j.ID, Node: n.id,
+			Job: j.ID, Node: s.gid(n),
 			App: j.Obs.App.Name, Class: j.Class.String(), SizeGB: j.Obs.SizeGB,
 			Config: cfg.String(),
 		}
@@ -672,11 +982,13 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) (mapreduce.Config, tune
 			if s.met != nil {
 				s.met.tunePair.Inc()
 				s.met.reg.Emit(metrics.Event{
-					At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: n.id,
+					At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: s.gid(n),
 					Detail: fmt.Sprintf("pair cfg=%v resident=%d cfg=%v", pairCfg[1], resident.job.ID, pairCfg[0]),
 				})
 			}
-			s.traceTune(n, j, pairCfg[1], fmt.Sprintf("pair resident=%d cfg=%v", resident.job.ID, pairCfg[0]))
+			if s.tracer != nil { // build the detail string only when traced
+				s.traceTune(n, j, pairCfg[1], fmt.Sprintf("pair resident=%d cfg=%v", resident.job.ID, pairCfg[0]))
+			}
 			return pairCfg[1], tuneInfo{path: audit.TunePair, exp: audit.Expectation(exp)}
 		}
 	}
@@ -698,7 +1010,7 @@ func (s *OnlineScheduler) tuneFor(n *onlineNode, j *Job) (mapreduce.Config, tune
 	if s.met != nil {
 		s.met.tuneSolo.Inc()
 		s.met.reg.Emit(metrics.Event{
-			At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: n.id,
+			At: s.Engine.Now(), Kind: metrics.EvTune, Job: j.ID, Node: s.gid(n),
 			Detail: fmt.Sprintf("solo cfg=%v", cfg),
 		})
 	}
@@ -718,7 +1030,7 @@ func (s *OnlineScheduler) traceTune(n *onlineNode, j *Job, cfg mapreduce.Config,
 		parent = js.job
 	}
 	s.tracer.Record(tracing.KindTune, "tune", parent, now, now, tracing.Attrs{
-		Job: j.ID, Node: n.id,
+		Job: j.ID, Node: s.gid(n),
 		App: j.Obs.App.Name, Class: j.Class.String(),
 		Config: cfg.String(), Detail: detail,
 	})
@@ -740,7 +1052,7 @@ func (s *OnlineScheduler) traceComplete(n *onlineNode, finisher *onlineJob) {
 	js.run.FinishAt(now)
 	run := js.run.Snapshot()
 	attrs := tracing.Attrs{
-		Job: finisher.job.ID, Node: n.id,
+		Job: finisher.job.ID, Node: s.gid(n),
 		App: finisher.job.Obs.App.Name, Class: finisher.job.Class.String(),
 	}
 	mapEnd := run.Start + js.mapFrac*(now-run.Start)
@@ -762,21 +1074,46 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 	}
 	if len(n.residents) == 0 {
 		n.watts = s.idleWatts
+		s.refreshPhaseWatts(n)
 		return
 	}
 	specs := s.specsInto(n)
 	if s.naive {
 		specs = n.specs()
 	}
-	sts, watts, err := s.Model.Steady(specs)
-	if err != nil {
-		panic(err)
+	var stsBuf [2]mapreduce.SteadyState
+	var sts []mapreduce.SteadyState
+	var watts float64
+	if s.steadyMemo != nil && len(specs) <= 2 {
+		k := steadyKeyOf(specs)
+		if v, ok := s.steadyMemo[k]; ok {
+			stsBuf, watts = v.sts, v.watts
+		} else {
+			out, w, err := s.Model.Steady(specs)
+			if err != nil {
+				panic(err)
+			}
+			copy(stsBuf[:], out)
+			watts = w
+			if len(s.steadyMemo) >= steadyMemoCap {
+				clear(s.steadyMemo)
+			}
+			s.steadyMemo[k] = steadyVal{sts: stsBuf, watts: w}
+		}
+		sts = stsBuf[:len(specs)]
+	} else {
+		out, w, err := s.Model.Steady(specs)
+		if err != nil {
+			panic(err)
+		}
+		sts, watts = out, w
 	}
 	// Capture the node's steady-state draw for the incremental accrual
 	// path: this is the single point where a node's resident set or
 	// configurations take effect, so the cache is fresh at every later
 	// accrual (which always runs before the next mutation).
 	n.watts = watts
+	s.refreshPhaseWatts(n)
 	if s.tracer != nil {
 		// Refresh each resident's map/total split under the current
 		// contention — the value in force at completion places the
@@ -802,7 +1139,12 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 		return
 	}
 	// Record progress rates to advance remaining fractions at the event.
-	rates := make([]float64, len(n.residents))
+	// The buffer lives on the node: the pending event is cancelled
+	// before any refill, so the closure never reads overwritten rates.
+	if cap(n.rates) < len(n.residents) {
+		n.rates = make([]float64, len(n.residents))
+	}
+	rates := n.rates[:len(n.residents)]
 	for i := range n.residents {
 		rates[i] = 1 / sts[i].JobTime
 	}
@@ -832,7 +1174,7 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 			Submitted: finisher.job.Arrived,
 			Started:   finisher.started,
 			Finished:  s.Engine.Now(),
-			Node:      n.id,
+			Node:      s.gid(n),
 			Cfg:       finisher.cfg,
 		})
 		if s.met != nil {
@@ -840,7 +1182,7 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 			s.met.completed.Inc()
 			s.met.turnaround.Observe(now - finisher.job.Arrived)
 			s.met.reg.Emit(metrics.Event{
-				At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: n.id,
+				At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: s.gid(n),
 				Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
 			})
 		}
@@ -855,7 +1197,7 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 					s.met.driftAlerts.Inc()
 					s.met.driftAlert.Set(1)
 					s.met.reg.Emit(metrics.Event{
-						At: now, Kind: metrics.EvDrift, Job: finisher.job.ID, Node: n.id,
+						At: now, Kind: metrics.EvDrift, Job: finisher.job.ID, Node: s.gid(n),
 						Detail: fmt.Sprintf("cusum stat=%.1f mean=%.1f%% sample=%d", a.Stat, a.Mean, a.Sample),
 					})
 				}

@@ -1,0 +1,385 @@
+package core
+
+// The sharded control plane: the cluster is partitioned across S
+// per-shard OnlineSchedulers — each owning its own node slice, engine,
+// wait-queue index, and tune-cache shard — with submissions routed by a
+// deterministic app/tenant hash and a bounded work-stealing pass at
+// event-loop barriers. Shards advance in lock-step epochs between
+// global event timestamps (the PR 2 deterministic-merge worker-pool
+// pattern applied to the online loop), so every export — metrics
+// snapshots, timelines, decision logs, completions, energy — is a pure
+// function of the submitted stream at any GOMAXPROCS, and steals fire
+// at deterministic sim times rather than goroutine-timing-dependent
+// moments.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"ecost/internal/mapreduce"
+	"ecost/internal/power"
+	"ecost/internal/sim"
+	"ecost/internal/workloads"
+)
+
+// ShardedConfig parameterizes the sharded control plane.
+type ShardedConfig struct {
+	// Shards is the number of per-shard schedulers (1..nodes).
+	Shards int
+	// Steal enables the barrier work-stealing pass: a shard with an
+	// empty queue and free capacity claims queued jobs from neighbors.
+	Steal bool
+	// StealBatch caps how many jobs one shard claims per barrier
+	// (0 = DefaultStealBatch). The cap bounds how far a single barrier
+	// can rebalance, keeping steal-induced divergence local.
+	StealBatch int
+	// ProfileMemo replaces the router's serial noisy profiling with
+	// noise-free ObserveExact profiles memoized by (app, size). Recurring
+	// tenants then profile once ever — the "recurring jobs have
+	// recurring profiles" shortcut — at the cost of exact equivalence
+	// with the legacy sampler-noise stream. Benchmarks and large
+	// scenario sweeps want this; equivalence goldens must not.
+	ProfileMemo bool
+}
+
+// DefaultStealBatch bounds per-barrier claims when StealBatch is 0.
+const DefaultStealBatch = 8
+
+// ShardedScheduler drives S per-shard OnlineSchedulers in lock-step
+// epochs. Build with NewShardedScheduler, attach per-shard
+// observability via Shard(i), Submit the stream in nondecreasing
+// arrival order, then Run.
+type ShardedScheduler struct {
+	cfg    ShardedConfig
+	shards []*OnlineScheduler
+	prof   *Profiler
+
+	// memo caches router profiles under ProfileMemo.
+	memo map[profileKey]Observation
+
+	nextID int
+	lastAt float64
+	steals int
+}
+
+type profileKey struct {
+	app    string
+	sizeGB float64
+}
+
+// routeShard maps an application/tenant name to its home shard: FNV-1a
+// over the name, mod S. The hash is stable across processes and
+// platforms, so a recurring tenant always lands on the same shard —
+// which is what lets the per-shard tune caches and wait-queue indexes
+// stay hot for its recurring profile.
+func routeShard(name string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// NewShardedScheduler partitions `nodes` across cfg.Shards schedulers
+// (near-even split: the first nodes%S shards own one extra node) over a
+// shared model, database, and profiler. newTuner builds one tuner per
+// shard so each shard owns its own memo shard (pass a closure returning
+// a fresh MemoSTP); it must return non-nil. The model and database are
+// shared across shard goroutines: the database's caches are
+// synchronized, and the model must not carry a metrics registry (its
+// emissions would interleave nondeterministically).
+func NewShardedScheduler(model *mapreduce.Model, db *Database, prof *Profiler, newTuner func() STP, nodes int, cfg ShardedConfig) (*ShardedScheduler, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: sharded scheduler: need at least one shard")
+	}
+	if cfg.Shards > nodes {
+		return nil, fmt.Errorf("core: sharded scheduler: %d shards exceed %d nodes", cfg.Shards, nodes)
+	}
+	if newTuner == nil {
+		return nil, fmt.Errorf("core: sharded scheduler: nil tuner factory")
+	}
+	if cfg.StealBatch <= 0 {
+		cfg.StealBatch = DefaultStealBatch
+	}
+	c := &ShardedScheduler{cfg: cfg, prof: prof}
+	if cfg.ProfileMemo {
+		c.memo = make(map[profileKey]Observation)
+	}
+	base := 0
+	for i := 0; i < cfg.Shards; i++ {
+		n := nodes / cfg.Shards
+		if i < nodes%cfg.Shards {
+			n++
+		}
+		tuner := newTuner()
+		if tuner == nil {
+			return nil, fmt.Errorf("core: sharded scheduler: tuner factory returned nil for shard %d", i)
+		}
+		sh, err := NewOnlineScheduler(sim.NewEngine(), model, db, tuner, prof, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: sharded scheduler: shard %d: %w", i, err)
+		}
+		sh.SetNodeBase(base)
+		// Steady-solve memoization is bit-identical to solving (proven
+		// by the single-shard equivalence golden) and recurring tenants
+		// concentrate per shard by construction, so every shard gets it.
+		sh.SetSteadyMemo(true)
+		base += n
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+// Shards reports the shard count.
+func (c *ShardedScheduler) Shards() int { return len(c.shards) }
+
+// Shard returns the i-th per-shard scheduler, for attaching per-shard
+// observability (SetMetrics/SetTracer/SetAudit — each shard needs its
+// own registry, tracer, and log; they are written concurrently during
+// epochs) and reading per-shard exports afterwards.
+func (c *ShardedScheduler) Shard(i int) *OnlineScheduler { return c.shards[i] }
+
+// Steals reports how many jobs migrated between shards.
+func (c *ShardedScheduler) Steals() int { return c.steals }
+
+// Submit routes a job arrival to its home shard. Arrivals must be
+// submitted in nondecreasing time order: the router profiles serially
+// at submission so the sampler's draw sequence matches the legacy
+// scheduler's in-event profiling order (every stream source — scenario
+// generators, trace replay, workload cycling — emits sorted arrivals).
+func (c *ShardedScheduler) Submit(app workloads.App, sizeGB, at float64) {
+	if at < c.lastAt {
+		panic(fmt.Sprintf("core: sharded scheduler: out-of-order submission at %g after %g", at, c.lastAt))
+	}
+	c.lastAt = at
+	obs, err := c.profile(app, sizeGB)
+	if err != nil {
+		panic(fmt.Sprintf("core: sharded profile: %v", err))
+	}
+	id := c.nextID
+	c.nextID++
+	c.shards[routeShard(app.Name, len(c.shards))].SubmitObserved(id, obs, at)
+}
+
+func (c *ShardedScheduler) profile(app workloads.App, sizeGB float64) (Observation, error) {
+	if c.memo == nil {
+		return c.prof.Observe(app, sizeGB)
+	}
+	k := profileKey{app.Name, sizeGB}
+	if obs, ok := c.memo[k]; ok {
+		return obs, nil
+	}
+	obs, err := c.prof.ObserveExact(app, sizeGB)
+	if err == nil {
+		c.memo[k] = obs
+	}
+	return obs, err
+}
+
+// Run drives all shards to completion in lock-step epochs and returns
+// the global makespan and summed energy. Each epoch: (1) the barrier is
+// the minimum next-event time across shards, (2) every shard with work
+// at the barrier drains its events through it — in parallel when more
+// than one shard is active, which cannot change any result because
+// shards share no mutable state — and (3) with stealing enabled, a
+// single-threaded deterministic steal pass runs at the barrier. After
+// the last event every shard is advanced to the global makespan and
+// closed out, so trailing idle energy is billed exactly as the
+// unsharded scheduler bills it.
+func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sharded scheduler: %v", r)
+		}
+	}()
+	active := make([]*OnlineScheduler, 0, len(c.shards))
+	for {
+		t := math.Inf(1)
+		for _, sh := range c.shards {
+			if at, ok := sh.Engine.NextAt(); ok && at < t {
+				t = at
+			}
+		}
+		if math.IsInf(t, 1) {
+			break
+		}
+		active = active[:0]
+		for _, sh := range c.shards {
+			if at, ok := sh.Engine.NextAt(); ok && at <= t {
+				active = append(active, sh)
+			}
+		}
+		c.runEpoch(active, t)
+		if c.cfg.Steal {
+			c.stealPass(t)
+		}
+	}
+	pending := 0
+	for _, sh := range c.shards {
+		pending += sh.Pending()
+	}
+	if pending > 0 {
+		return 0, 0, fmt.Errorf("core: sharded scheduler: %d jobs never completed", pending)
+	}
+	end := 0.0
+	for _, sh := range c.shards {
+		if now := sh.Engine.Now(); now > end {
+			end = now
+		}
+	}
+	for _, sh := range c.shards {
+		sh.Engine.AdvanceTo(end)
+		sh.finishRun()
+	}
+	var energy float64
+	for _, sh := range c.shards { // shard order: deterministic float sum
+		energy += sh.EnergyJ()
+	}
+	return end, energy, nil
+}
+
+// runEpoch drains every active shard through the barrier. One active
+// shard (the overwhelmingly common case — barriers sit at every
+// distinct global event timestamp) runs inline with zero goroutines;
+// timestamp collisions fan out across a transient worker group, with
+// panics captured and re-raised in shard order so Run's recover turns
+// the first failure into the same error a serial pass would surface.
+func (c *ShardedScheduler) runEpoch(active []*OnlineScheduler, t float64) {
+	if len(active) == 1 {
+		active[0].Engine.RunThrough(t)
+		return
+	}
+	panics := make([]any, len(active))
+	var wg sync.WaitGroup
+	for i := 1; i < len(active); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			active[i].Engine.RunThrough(t)
+		}(i)
+	}
+	func() {
+		defer func() { panics[0] = recover() }()
+		active[0].Engine.RunThrough(t)
+	}()
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// stealPass runs single-threaded at the barrier: shards are scanned in
+// index order; a shard with an empty queue and free capacity claims
+// queue heads from its neighbors (nearest first, wrapping upward) up to
+// min(StealBatch, FreeSlots) jobs, then dispatches them at the barrier
+// time. Everything here is a function of shard state and t alone, so a
+// steal that fires at t fires at t in every run of the same stream.
+func (c *ShardedScheduler) stealPass(t float64) {
+	queued := false
+	for _, sh := range c.shards {
+		if sh.QueueLen() > 0 {
+			queued = true
+			break
+		}
+	}
+	if !queued {
+		return // nothing to steal anywhere — the common barrier
+	}
+	s := len(c.shards)
+	for i, thief := range c.shards {
+		if thief.QueueLen() > 0 {
+			continue
+		}
+		budget := thief.FreeSlots()
+		if budget > c.cfg.StealBatch {
+			budget = c.cfg.StealBatch
+		}
+		if budget <= 0 {
+			continue
+		}
+		claimed := 0
+		for k := 1; k < s && budget > 0; k++ {
+			vi := (i + k) % s
+			victim := c.shards[vi]
+			for budget > 0 && victim.QueueLen() > 0 {
+				victim.Engine.AdvanceTo(t)
+				j := victim.releaseHead(t)
+				if j == nil {
+					break
+				}
+				thief.Engine.AdvanceTo(t)
+				thief.acceptStolen(j, vi, t)
+				claimed++
+				budget--
+			}
+		}
+		if claimed > 0 {
+			c.steals += claimed
+			thief.dispatch()
+		}
+	}
+}
+
+// Completed returns all finished jobs merged across shards, ordered by
+// (finish time, job id) — the id tie-break makes the merged order
+// deterministic where the single-shard sort tolerated ambiguity. With
+// one shard it defers to that shard's own ordering for exact legacy
+// equivalence.
+func (c *ShardedScheduler) Completed() []CompletedJob {
+	if len(c.shards) == 1 {
+		return c.shards[0].Completed()
+	}
+	var out []CompletedJob
+	for _, sh := range c.shards {
+		out = append(out, sh.completed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Finished != out[j].Finished {
+			return out[i].Finished < out[j].Finished
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// EnergyJ sums shard energy in shard order.
+func (c *ShardedScheduler) EnergyJ() float64 {
+	var e float64
+	for _, sh := range c.shards {
+		e += sh.EnergyJ()
+	}
+	return e
+}
+
+// Phases sums the per-shard phase splits in shard order.
+func (c *ShardedScheduler) Phases() power.PhaseAccumulator {
+	var p power.PhaseAccumulator
+	for _, sh := range c.shards {
+		sp := sh.Phases()
+		p.IdleJ += sp.IdleJ
+		p.SoloJ += sp.SoloJ
+		p.CoJ += sp.CoJ
+	}
+	return p
+}
+
+// QueueLen sums the shard wait-queue lengths.
+func (c *ShardedScheduler) QueueLen() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.QueueLen()
+	}
+	return n
+}
+
+// SetFastAccrual toggles the O(1) aggregate accrual path on every
+// shard (see OnlineScheduler.SetFastAccrual for when it engages).
+func (c *ShardedScheduler) SetFastAccrual(v bool) {
+	for _, sh := range c.shards {
+		sh.SetFastAccrual(v)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"flag"
+	"testing"
+
+	"ecost/internal/sim"
+)
+
+// shardsFlag overrides the shard count for BenchmarkOnlineShardedCluster
+// (0 = the default per size), for shard-sweep measurements:
+//
+//	go test -bench OnlineShardedCluster -ecost.shards 8 ./internal/core/
+var shardsFlag = flag.Int("ecost.shards", 0,
+	"shard count for the sharded online benchmark (0 = size default)")
+
+// benchSharded drives one sharded run and returns completions.
+func benchSharded(b *testing.B, nodes, jobs, shards int, mean float64) int {
+	wl, err := Scenario("WS4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := NewProfiler(fix.model, sim.NewRNG(17))
+	c, err := NewShardedScheduler(fix.model, fix.db, prof,
+		func() STP { return NewMemoSTP(fix.lkt, nil) }, nodes,
+		ShardedConfig{Shards: shards, Steal: true, ProfileMemo: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetFastAccrual(true)
+	rng := sim.NewRNG(18)
+	at := 0.0
+	for j := 0; j < jobs; j++ {
+		spec := wl.Jobs[j%len(wl.Jobs)]
+		c.Submit(spec.App, spec.SizeGB, at)
+		at += rng.Exp(mean)
+	}
+	if _, _, err := c.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return len(c.Completed())
+}
+
+// BenchmarkOnlineShardedCluster is the PR 8 tentpole benchmark: the
+// sharded control plane at 10k+ scale, with work stealing, memoized
+// recurring-tenant profiling, and O(1) aggregate accrual all on. Short
+// mode (what CI's bench-guard runs) uses 4096 nodes × 40k jobs over 16
+// shards; full mode 16384 × 200k — the acceptance point, which must
+// clear 100k jobs simulated/s (vs 22.7k for the unsharded
+// BenchmarkOnlineLargeCluster path). The mean interarrival scales
+// inversely with cluster size, matching the unsharded benchmark's
+// offered load.
+func BenchmarkOnlineShardedCluster(b *testing.B) {
+	fixture(b)
+	nodes, jobs, shards := 16384, 200000, 16
+	if testing.Short() {
+		nodes, jobs, shards = 4096, 40000, 16
+	}
+	if *shardsFlag > 0 {
+		shards = *shardsFlag
+	}
+	mean := 1536.0 / float64(nodes)
+	completed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		completed += benchSharded(b, nodes, jobs, shards, mean)
+	}
+	b.StopTimer()
+	if completed != b.N*jobs {
+		b.Fatalf("completed %d jobs, want %d", completed, b.N*jobs)
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -17,6 +17,7 @@ const (
 	EvTune                      // a (re-)tuning decision was applied
 	EvComplete                  // a job finished
 	EvDrift                     // the STP drift detector fired an alarm
+	EvSteal                     // a starved shard claimed a queued job from a neighbor
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +37,8 @@ func (k EventKind) String() string {
 		return "complete"
 	case EvDrift:
 		return "drift"
+	case EvSteal:
+		return "steal"
 	}
 	return "unknown"
 }

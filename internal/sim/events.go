@@ -101,6 +101,44 @@ func (e *Engine) Cancel(ev *Event) bool {
 	return true
 }
 
+// NextAt peeks at the timestamp of the next scheduled event without
+// firing it. It reports false when no events are pending. The sharded
+// control plane uses it to compute the global epoch barrier (the
+// minimum next-event time across all shard engines).
+func (e *Engine) NextAt() (float64, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].At, true
+}
+
+// RunThrough fires every event with a timestamp at or before t, in
+// (At, seq) order, and stops without advancing the clock past the last
+// fired event. Unlike Run(horizon) it never moves the clock to t when
+// no event lands exactly there — shards that sit out an epoch keep
+// their own clock, so per-shard accrual intervals stay exactly the
+// intervals their own events delimit.
+func (e *Engine) RunThrough(t float64) {
+	for len(e.events) > 0 && e.events[0].At <= t {
+		e.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without firing anything.
+// Jumping over a pending event would violate causality, so it panics if
+// one is scheduled before t; callers use it only at epoch barriers
+// (after RunThrough drained everything at or before t) and when closing
+// a drained shard out to the global makespan.
+func (e *Engine) AdvanceTo(t float64) {
+	if t <= e.now {
+		return
+	}
+	if len(e.events) > 0 && e.events[0].At < t {
+		panic("sim: AdvanceTo would skip a pending event")
+	}
+	e.now = t
+}
+
 // Step fires the next event, advancing the clock to its timestamp.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {

@@ -202,3 +202,82 @@ func TestEngineStepCount(t *testing.T) {
 		t.Fatalf("stepped %d fired %d, want 7", n, e.Fired())
 	}
 }
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt reported an event on an empty engine")
+	}
+	e.At(3, func() {})
+	e.At(1, func() {})
+	if at, ok := e.NextAt(); !ok || at != 1 {
+		t.Fatalf("NextAt = %v,%v, want 1,true", at, ok)
+	}
+	e.Step()
+	if at, ok := e.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt after Step = %v,%v, want 3,true", at, ok)
+	}
+}
+
+func TestEngineRunThrough(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 2, 3, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunThrough(2)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 2 {
+		t.Fatalf("RunThrough(2) fired %v, want [1 2 2]", fired)
+	}
+	// The clock stops at the last fired event, not at the barrier.
+	if e.Now() != 2 {
+		t.Fatalf("Now = %v after RunThrough(2), want 2", e.Now())
+	}
+	e.RunThrough(4)
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v after RunThrough(4), want 3", e.Now())
+	}
+	e.RunThrough(10)
+	if len(fired) != 5 || e.Now() != 5 {
+		t.Fatalf("fired %v Now %v, want all 5 events and Now=5", fired, e.Now())
+	}
+}
+
+func TestEngineRunThroughCascades(t *testing.T) {
+	// An event firing at t may schedule another event at <= barrier;
+	// RunThrough must drain it in the same pass.
+	e := NewEngine()
+	var got []float64
+	e.At(1, func() {
+		got = append(got, e.Now())
+		e.At(2, func() { got = append(got, e.Now()) })
+	})
+	e.RunThrough(2)
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("cascaded event not drained: fired %v", got)
+	}
+}
+
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(4)
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", e.Now())
+	}
+	e.AdvanceTo(2) // backward: no-op
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v after backward AdvanceTo, want 4", e.Now())
+	}
+	e.At(6, func() {})
+	e.AdvanceTo(6) // exactly at the pending event: allowed
+	if e.Now() != 6 {
+		t.Fatalf("Now = %v, want 6", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	e.AdvanceTo(7)
+}
