@@ -22,6 +22,8 @@ type runFlags struct {
 	EDPReport       bool
 	QualityReport   bool
 	ServeAddr       string
+	FlightOut       string
+	HealthReport    bool
 
 	// Shards is the -shards value and ShardsSet whether the user passed
 	// the flag at all (the default 1 is the unsharded control plane and
@@ -51,6 +53,8 @@ func (f runFlags) onlineOnly() []struct {
 		{"-serve", f.ServeAddr != ""},
 		{"-shards", f.ShardsSet},
 		{"-steal", f.Steal},
+		{"-flight-out", f.FlightOut != ""},
+		{"-health-report", f.HealthReport},
 	}
 }
 
@@ -78,15 +82,17 @@ func (f runFlags) contradiction() string {
 	if f.Steal && f.Shards < 2 {
 		return "-steal migrates queued jobs between shards; pass -shards 2 or more"
 	}
-	if f.Shards > 1 {
-		// The sharded control plane runs one scheduler per shard; the
-		// single-stream exporters are not wired across shards.
-		if f.TraceOut != "" {
-			return "-trace-out writes one merged Chrome trace; the sharded control plane exports per-shard spans — use -timeline-out, or -shards 1"
-		}
-		if f.ServeAddr != "" {
-			return "-serve exposes a single run's registries; not wired for the sharded control plane — use -metrics, or -shards 1"
-		}
+	if f.FlightOut != "" && f.Shards < 2 {
+		return "-flight-out records the sharded control plane's epoch barriers; pass -shards 2 or more"
+	}
+	if f.HealthReport && f.Shards < 2 {
+		return "-health-report aggregates per-shard barrier telemetry; pass -shards 2 or more"
+	}
+	if f.Shards > 1 && f.TraceOut != "" {
+		// -serve works across shards (merged + ?shard=N endpoints), but
+		// a Chrome trace is one stream per file; the sharded control
+		// plane exports per-shard spans.
+		return "-trace-out writes one merged Chrome trace; the sharded control plane exports per-shard spans — use -timeline-out, or -shards 1"
 	}
 	if f.TraceReplay != "" {
 		// A replayed trace IS the stream; every other stream-shaping

@@ -79,11 +79,25 @@ func TestFlagContradictions(t *testing.T) {
 		{"steal default shards", runFlags{Online: true, Steal: true, Shards: 1, Nodes: 8}, "-steal migrates queued jobs between shards"},
 		{"steal with shards", runFlags{Online: true, Steal: true, Shards: 2, ShardsSet: true, Nodes: 8}, ""},
 		{"shards with trace-out", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, "-trace-out writes one merged Chrome trace"},
-		{"shards with serve", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, ServeAddr: ":0"}, "-serve exposes a single run's registries"},
+		// -serve works across shards since the mux grew merged + ?shard=N
+		// views; the old single-registry contradiction is gone.
+		{"shards with serve", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, ServeAddr: ":0"}, ""},
 		{"single shard with trace-out", runFlags{Online: true, Shards: 1, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, ""},
 		{"shards with timeline and metrics", runFlags{
 			Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true,
 			Metrics: true, TimelineOut: "t.txt", QualityReport: true, EDPReport: true,
+		}, ""},
+		// Flight recorder flags record per-shard barrier telemetry; both
+		// need the sharded control plane (and, transitively, -online).
+		{"flight-out offline", runFlags{FlightOut: "f.jsonl", Shards: 2, ShardsSet: true, Nodes: 8}, "-shards requires the online scheduler"},
+		{"flight-out single shard", runFlags{Online: true, FlightOut: "f.jsonl", Shards: 1, Nodes: 8}, "-flight-out records the sharded control plane's epoch barriers"},
+		{"flight-out with shards", runFlags{Online: true, FlightOut: "f.jsonl", Shards: 2, ShardsSet: true, Nodes: 8}, ""},
+		{"health-report offline", runFlags{HealthReport: true, Shards: 2, Nodes: 8}, "-health-report requires the online scheduler"},
+		{"health-report single shard", runFlags{Online: true, HealthReport: true, Shards: 1, Nodes: 8}, "-health-report aggregates per-shard barrier telemetry"},
+		{"health-report with shards", runFlags{Online: true, HealthReport: true, Shards: 2, ShardsSet: true, Nodes: 8}, ""},
+		{"flight and health with serve", runFlags{
+			Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true,
+			FlightOut: "f.jsonl", HealthReport: true, ServeAddr: ":0", Metrics: true,
 		}, ""},
 	}
 	for _, tc := range cases {
@@ -103,8 +117,8 @@ func TestFlagContradictions(t *testing.T) {
 	}
 	// Completeness guard: every online-only flag is represented in the
 	// rejection table above.
-	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x", ShardsSet: true, Steal: true}
-	if got := len(all.onlineOnly()); got != 10 {
+	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x", ShardsSet: true, Steal: true, FlightOut: "x", HealthReport: true}
+	if got := len(all.onlineOnly()); got != 12 {
 		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
 	}
 }

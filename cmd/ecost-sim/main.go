@@ -42,7 +42,17 @@
 // built from the per-decision audit log. -serve exposes all of the
 // above plus Prometheus /metrics, the audit log as /decisions JSONL,
 // the quality report as /quality, and /debug/pprof/ over HTTP, live
-// during the run and until interrupted afterwards.
+// during the run and until interrupted afterwards. Sharded runs
+// (-shards 2+) serve merged views by default — Prometheus families
+// gain a shard="N" label — with ?shard=N selecting one shard, and add
+// the flight-recorder endpoints /shards, /epochs, /health, and
+// /flight.
+//
+// -flight-out writes the sharded control plane's anomaly-triggered
+// flight-recorder dumps (queue growth, shard imbalance, STP drift) as
+// JSONL; -health-report prints the aggregated shard-health report
+// (steal-flow matrix, Jain fairness, queue-growth slope, power skew)
+// after the run. Both require -shards 2 or more.
 package main
 
 import (
@@ -91,6 +101,8 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve /metrics, /trace, /report, /decisions, /quality, and /debug/pprof/ on this address during and after the online run (requires -online)")
 	shards := flag.Int("shards", 1, "partition the online cluster into this many per-shard schedulers with hash-routed submissions (requires -online; 1 = the single control plane)")
 	steal := flag.Bool("steal", false, "let idle shards steal queued jobs at event barriers (requires -shards 2+)")
+	flightOut := flag.String("flight-out", "", "write the flight recorder's anomaly-triggered epoch dumps as JSONL to this file after the run (requires -shards 2+)")
+	healthReport := flag.Bool("health-report", false, "print the shard-health report (steal flow, fairness, queue slope, power skew) after the run (requires -shards 2+)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
@@ -130,6 +142,8 @@ func main() {
 		EDPReport:       *edpReport,
 		QualityReport:   *qualityReport,
 		ServeAddr:       *serveAddr,
+		FlightOut:       *flightOut,
+		HealthReport:    *healthReport,
 		Shards:          *shards,
 		ShardsSet:       shardsSet,
 		Steal:           *steal,
@@ -171,6 +185,9 @@ func main() {
 				timelineOut:     *timelineOut,
 				edpReport:       *edpReport,
 				qualityReport:   *qualityReport,
+				serveAddr:       *serveAddr,
+				flightOut:       *flightOut,
+				healthReport:    *healthReport,
 			})
 			return
 		}
@@ -194,7 +211,13 @@ func main() {
 			if err != nil {
 				cliutil.Fatalf("-serve listen failed", "err", err)
 			}
-			srv = &http.Server{Handler: newServeMux(reg, tr, aud, qualityOracle, *metricsVolatile)}
+			srv = &http.Server{Handler: newServeMux(serveSources{
+				regs:     []*metrics.Registry{reg},
+				trs:      []*tracing.Tracer{tr},
+				auds:     []*audit.Log{aud},
+				qo:       qualityOracle,
+				volatile: *metricsVolatile,
+			})}
 			go func() {
 				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 					slog.Error("observability server failed", "err", err)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ecost/internal/audit"
+	"ecost/internal/flight"
 	"ecost/internal/metrics"
 	"ecost/internal/tracing"
 )
@@ -41,7 +42,35 @@ func serveFixture(t *testing.T) *httptest.Server {
 	aud.AddEnergy(0, 900)
 	aud.Complete(0, 100)
 
-	srv := httptest.NewServer(newServeMux(reg, tr, aud, nil, false))
+	srv := httptest.NewServer(newServeMux(serveSources{
+		regs: []*metrics.Registry{reg},
+		trs:  []*tracing.Tracer{tr},
+		auds: []*audit.Log{aud},
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// serveShardedFixture builds a mux over two hand-made per-shard
+// registries and a flight recorder fed one synthetic barrier epoch.
+func serveShardedFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg0 := metrics.NewRegistry()
+	reg0.Counter("sched.submitted").Add(3)
+	reg1 := metrics.NewRegistry()
+	reg1.Counter("sched.submitted").Add(5)
+	fr := flight.New(flight.Config{Shards: 2, ShardNodes: []int{2, 2}})
+	fr.Steal(1, 0)
+	fr.RecordEpoch(0, 10, []flight.ShardStat{
+		{Queue: 2, Free: 1, Active: 1, EnergyJ: 50},
+		{Queue: 1, Free: 2, EnergyJ: 30},
+	})
+	srv := httptest.NewServer(newServeMux(serveSources{
+		regs: []*metrics.Registry{reg0, reg1},
+		trs:  []*tracing.Tracer{nil, nil},
+		auds: []*audit.Log{nil, nil},
+		fr:   fr,
+	}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -175,11 +204,106 @@ func TestServeDecisionsAndQuality(t *testing.T) {
 
 // TestServeDisabledSources checks the 503 hints when a source is off.
 func TestServeDisabledSources(t *testing.T) {
-	srv := httptest.NewServer(newServeMux(nil, nil, nil, nil, false))
+	srv := httptest.NewServer(newServeMux(serveSources{
+		regs: []*metrics.Registry{nil},
+		trs:  []*tracing.Tracer{nil},
+		auds: []*audit.Log{nil},
+	}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/trace", "/timeline", "/report", "/decisions", "/quality"} {
+	for _, path := range []string{
+		"/metrics", "/trace", "/timeline", "/report", "/decisions", "/quality",
+		"/shards", "/epochs", "/health", "/flight",
+	} {
 		if code, _ := get(t, srv.URL+path); code != http.StatusServiceUnavailable {
 			t.Errorf("%s with nil sources: status %d, want 503", path, code)
 		}
+	}
+}
+
+// TestServeSharded covers the multi-shard mux: merged shard-labeled
+// /metrics, per-shard selection via ?shard=N, range validation, and
+// the flight-recorder endpoints.
+func TestServeSharded(t *testing.T) {
+	srv := serveShardedFixture(t)
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", code, body)
+	}
+	for _, want := range []string{
+		`ecost_sched_submitted{shard="0"} 3`,
+		`ecost_sched_submitted{shard="1"} 5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// One selected shard renders the classic unlabeled exposition.
+	code, body = get(t, srv.URL+"/metrics?shard=1")
+	if code != http.StatusOK || !strings.Contains(body, "ecost_sched_submitted 5") {
+		t.Errorf("/metrics?shard=1 status %d body:\n%s", code, body)
+	}
+	if strings.Contains(body, `shard="`) {
+		t.Errorf("/metrics?shard=1 still labeled:\n%s", body)
+	}
+	if code, body := get(t, srv.URL+"/metrics?shard=9"); code != http.StatusBadRequest {
+		t.Errorf("/metrics?shard=9 status %d body:\n%s", code, body)
+	}
+	if code, body := get(t, srv.URL+"/epochs?shard=x"); code != http.StatusBadRequest {
+		t.Errorf("/epochs?shard=x status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/health")
+	if code != http.StatusOK || !strings.Contains(body, "# shard health") {
+		t.Fatalf("/health status %d body:\n%s", code, body)
+	}
+	if !strings.Contains(body, "steals") {
+		t.Errorf("/health missing steal summary:\n%s", body)
+	}
+
+	code, body = get(t, srv.URL+"/epochs")
+	if code != http.StatusOK {
+		t.Fatalf("/epochs status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/epochs has %d records, want one per shard:\n%s", len(lines), body)
+	}
+	var rec struct {
+		Epoch int `json:"epoch"`
+		Shard int `json:"shard"`
+		Queue int `json:"queue"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("/epochs line is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Epoch != 0 || rec.Shard != 0 || rec.Queue != 2 {
+		t.Errorf("/epochs record mismatch: %+v", rec)
+	}
+	code, body = get(t, srv.URL+"/epochs?shard=1")
+	if code != http.StatusOK || len(strings.Split(strings.TrimSpace(body), "\n")) != 1 {
+		t.Errorf("/epochs?shard=1 status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/shards")
+	if code != http.StatusOK {
+		t.Fatalf("/shards status %d: %s", code, body)
+	}
+	var rows []struct {
+		Shard     int   `json:"shard"`
+		StealsIn  int64 `json:"steals_in"`
+		StealsOut int64 `json:"steals_out"`
+	}
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("/shards is not valid JSON: %v\n%s", err, body)
+	}
+	if len(rows) != 2 || rows[0].StealsIn != 1 || rows[1].StealsOut != 1 {
+		t.Errorf("/shards rows mismatch: %+v", rows)
+	}
+
+	// No anomaly fired, so the flight dump stream is empty but served.
+	if code, body := get(t, srv.URL+"/flight"); code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("/flight status %d body:\n%s", code, body)
 	}
 }

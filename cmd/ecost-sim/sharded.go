@@ -1,15 +1,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 
 	"ecost/internal/audit"
 	"ecost/internal/cliutil"
 	"ecost/internal/cluster"
 	"ecost/internal/core"
 	"ecost/internal/experiments"
+	"ecost/internal/flight"
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
 	"ecost/internal/trace"
@@ -20,6 +26,8 @@ import (
 // produces. Every export is per shard (each shard owns its registry,
 // tracer, and audit log — they are written concurrently during epochs),
 // printed or written as "== shard N ==" sections in shard order.
+// serveAddr additionally exposes merged + ?shard=N views over HTTP, and
+// flightOut/healthReport enable the barrier flight recorder.
 type shardedOut struct {
 	metrics         bool
 	metricsJSON     bool
@@ -27,6 +35,9 @@ type shardedOut struct {
 	timelineOut     string
 	edpReport       bool
 	qualityReport   bool
+	serveAddr       string
+	flightOut       string
+	healthReport    bool
 }
 
 // runOnlineSharded drives the arrival stream through the sharded
@@ -36,8 +47,9 @@ type shardedOut struct {
 // shards/steals line and per-shard observability sections.
 func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arrivals []trace.Arrival, header string, perJobTable bool, out shardedOut) {
 	model := mapreduce.NewModel(cluster.AtomC2758())
+	serving := out.serveAddr != ""
 	regs := make([]*metrics.Registry, shards)
-	if out.metrics {
+	if out.metrics || serving {
 		for i := range regs {
 			regs[i] = metrics.NewRegistry()
 		}
@@ -60,14 +72,41 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 		if regs[i] != nil {
 			sh.SetMetrics(regs[i])
 		}
-		if out.timelineOut != "" || out.edpReport {
+		if out.timelineOut != "" || out.edpReport || serving {
 			trs[i] = tracing.New(sh.Engine.Clock())
 			sh.SetTracer(trs[i])
 		}
-		if out.qualityReport {
+		if out.qualityReport || serving {
 			auds[i] = audit.NewLog(audit.DriftConfig{})
 			sh.SetAudit(auds[i])
 		}
+	}
+	var fr *flight.Recorder
+	if out.flightOut != "" || out.healthReport || serving {
+		fr = flight.New(flight.Config{Shards: shards, ShardNodes: sched.ShardNodes()})
+		sched.SetFlight(fr)
+	}
+	qualityOracle := core.NewAuditOracle(env.Oracle)
+	var srv *http.Server
+	if serving {
+		ln, err := net.Listen("tcp", out.serveAddr)
+		if err != nil {
+			cliutil.Fatalf("-serve listen failed", "err", err)
+		}
+		srv = &http.Server{Handler: newServeMux(serveSources{
+			regs:     regs,
+			trs:      trs,
+			auds:     auds,
+			qo:       qualityOracle,
+			fr:       fr,
+			volatile: out.metricsVolatile,
+		})}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				slog.Error("observability server failed", "err", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving observability endpoints on http://%s/\n", ln.Addr())
 	}
 	for _, a := range arrivals {
 		sched.Submit(a.App, a.SizeGB, a.At)
@@ -120,7 +159,6 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 		}
 	}
 	if out.qualityReport {
-		qualityOracle := core.NewAuditOracle(env.Oracle)
 		for i, aud := range auds {
 			fmt.Printf("\n== shard %d ==\n", i)
 			if err := aud.Quality(qualityOracle).WriteText(os.Stdout); err != nil {
@@ -142,5 +180,24 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 				cliutil.Fatalf("writing -metrics snapshot failed", "err", werr)
 			}
 		}
+	}
+	if out.healthReport {
+		fmt.Println()
+		if err := fr.Health().WriteText(os.Stdout); err != nil {
+			cliutil.Fatalf("writing -health-report failed", "err", err)
+		}
+	}
+	if out.flightOut != "" {
+		if err := writeArtifact(out.flightOut, fr.WriteDumps); err != nil {
+			cliutil.Fatalf("writing -flight-out failed", "err", err)
+		}
+		slog.Info("wrote flight-recorder dumps", "path", out.flightOut, "dumps", len(fr.Dumps()))
+	}
+	if srv != nil {
+		fmt.Fprintln(os.Stderr, "run finished; endpoints stay up — interrupt (Ctrl-C) to exit")
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		<-ctx.Done()
+		stop()
+		srv.Close()
 	}
 }

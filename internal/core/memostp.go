@@ -5,6 +5,7 @@ import (
 	"hash/maphash"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
@@ -51,6 +52,14 @@ type MemoSTP struct {
 
 	hits   *metrics.Counter
 	misses *metrics.Counter
+
+	// nhits/nmisses are the deterministic shadow counts the flight
+	// recorder samples at epoch barriers. Unlike the volatile registry
+	// counters above, their totals are a pure function of the query
+	// stream (atomics only order concurrent sweeps; the sum is
+	// order-independent), so epoch records stay byte-identical.
+	nhits   atomic.Int64
+	nmisses atomic.Int64
 }
 
 // memoShards is a power of two so shard selection is a mask.
@@ -97,6 +106,11 @@ func NewMemoSTP(inner STP, reg *metrics.Registry) *MemoSTP {
 // Name implements STP.
 func (m *MemoSTP) Name() string { return m.Inner.Name() }
 
+// HitMiss reports the deterministic cumulative cache hit/miss counts.
+func (m *MemoSTP) HitMiss() (hits, misses int64) {
+	return m.nhits.Load(), m.nmisses.Load()
+}
+
 func (m *MemoSTP) shard(a, b Observation) *memoShard {
 	var h maphash.Hash
 	h.SetSeed(m.seed)
@@ -127,10 +141,12 @@ func (m *MemoSTP) PredictBestExpected(a, b Observation) ([2]mapreduce.Config, Pa
 	if r, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
 		m.hits.Inc()
+		m.nhits.Add(1)
 		return r.cfg, r.exp, r.err
 	}
 	sh.mu.Unlock()
 	m.misses.Inc()
+	m.nmisses.Add(1)
 	cfg, exp, err := predictExpected(m.Inner, a, b)
 	sh.mu.Lock()
 	if len(sh.m) >= memoShardCap {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ecost/internal/audit"
+	"ecost/internal/flight"
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
 	"ecost/internal/power"
@@ -103,6 +104,12 @@ type OnlineScheduler struct {
 	// aud records every decision joined with its realized outcome
 	// (nil = auditing off; see SetAudit).
 	aud *audit.Log
+
+	// fl is this shard's flight-recorder collector (nil = flight
+	// recording off; see SetFlight). Forecast joins and drift alerts
+	// accumulate here until the control plane drains them at the next
+	// barrier.
+	fl *flight.Collector
 }
 
 // jobSpans tracks one in-flight job's open spans plus the model's
@@ -252,6 +259,39 @@ func (s *OnlineScheduler) SetTracer(tr *tracing.Tracer) {
 		s.nodeSpans[n.id] = tr.Start(tracing.KindNode, power.PhaseName(0), nil,
 			tracing.Attrs{Job: -1, Node: s.gid(n)})
 	}
+}
+
+// SetFlight attaches this shard's flight-recorder collector (nil =
+// off). The completion path feeds it audit joins and drift alerts;
+// the sharded control plane drains it at every barrier. Only the
+// owning shard's goroutine writes it between barriers.
+func (s *OnlineScheduler) SetFlight(c *flight.Collector) { s.fl = c }
+
+// Nodes reports this scheduler's node count.
+func (s *OnlineScheduler) Nodes() int { return len(s.nodes) }
+
+// TopTenants names the most-queued applications, busiest first (name
+// ascending on ties), at most max. The flight recorder's triggers use
+// it to name the tenants behind a hot shard.
+func (s *OnlineScheduler) TopTenants(max int) []string {
+	counts := make(map[string]int)
+	for _, j := range s.queue.Jobs() {
+		counts[j.Obs.App.Name]++
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > max {
+		names = names[:max]
+	}
+	return names
 }
 
 // Tracer returns the attached span tracer (nil when tracing is off).
@@ -1189,6 +1229,15 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 		if s.aud != nil {
 			now := s.Engine.Now()
 			joins, alerts := s.aud.Complete(finisher.job.ID, now)
+			if s.fl != nil {
+				for _, jn := range joins {
+					s.fl.Join(jn.RelErrPct)
+				}
+				for _, a := range alerts {
+					tenant := finisher.job.Obs.App.Name + ":" + finisher.job.Class.String()
+					s.fl.Drift(finisher.job.ID, tenant, a.Stat)
+				}
+			}
 			if s.met != nil {
 				for _, jn := range joins {
 					s.met.relErrFor(jn.Class).Observe(jn.RelErrPct)

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"ecost/internal/flight"
 	"ecost/internal/mapreduce"
 	"ecost/internal/power"
 	"ecost/internal/sim"
@@ -63,6 +64,14 @@ type ShardedScheduler struct {
 	nextID int
 	lastAt float64
 	steals int
+
+	// flight is the barrier-epoch flight recorder (nil = off; see
+	// SetFlight). flightT0 is the previous barrier time (each epoch
+	// record spans [flightT0, t]); statBuf is the reusable per-barrier
+	// sample buffer.
+	flight   *flight.Recorder
+	flightT0 float64
+	statBuf  []flight.ShardStat
 }
 
 type profileKey struct {
@@ -143,6 +152,70 @@ func (c *ShardedScheduler) Shard(i int) *OnlineScheduler { return c.shards[i] }
 // Steals reports how many jobs migrated between shards.
 func (c *ShardedScheduler) Steals() int { return c.steals }
 
+// ShardNodes returns each shard's node count in shard order.
+func (c *ShardedScheduler) ShardNodes() []int {
+	out := make([]int, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.Nodes()
+	}
+	return out
+}
+
+// SetFlight attaches a flight recorder: every barrier epoch emits one
+// wide record per shard, each shard's forecast joins and drift alerts
+// flow into its collector, and the steal pass reports per-edge flow.
+// The recorder's triggers read shard queues through the tenant source
+// to name the implicated applications. Pass nil to detach (the
+// disabled path costs one branch per barrier).
+func (c *ShardedScheduler) SetFlight(r *flight.Recorder) {
+	c.flight = r
+	for i, sh := range c.shards {
+		sh.SetFlight(r.Collector(i))
+	}
+	r.SetTenantSource(func(shard, max int) []string {
+		return c.shards[shard].TopTenants(max)
+	})
+}
+
+// recordBarrier samples every shard after a barrier's events and steal
+// pass have settled and closes the epoch [flightT0, t] in the
+// recorder. Runs on the barrier goroutine only — the epoch WaitGroup
+// ordered all shard writes before it.
+func (c *ShardedScheduler) recordBarrier(t float64) {
+	stats := c.statBuf[:0]
+	for _, sh := range c.shards {
+		st := flight.ShardStat{
+			Queue:   sh.QueueLen(),
+			Free:    sh.FreeSlots(),
+			Active:  sh.Pending() - sh.QueueLen(),
+			EnergyJ: sh.EnergyJ(),
+		}
+		if m := memoOf(sh.Tuner); m != nil {
+			st.TuneHits, st.TuneMisses = m.HitMiss()
+		}
+		stats = append(stats, st)
+	}
+	c.statBuf = stats
+	c.flight.RecordEpoch(c.flightT0, t, stats)
+	c.flightT0 = t
+}
+
+// memoOf unwraps the shard tuner chain down to its MemoSTP, if any
+// (the deterministic tune-cache hit/miss source for epoch records).
+func memoOf(t STP) *MemoSTP {
+	for t != nil {
+		switch v := t.(type) {
+		case *MemoSTP:
+			return v
+		case *MeteredSTP:
+			t = v.Inner
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
 // Submit routes a job arrival to its home shard. Arrivals must be
 // submitted in nondecreasing time order: the router profiles serially
 // at submission so the sampler's draw sequence matches the legacy
@@ -214,6 +287,9 @@ func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
 		if c.cfg.Steal {
 			c.stealPass(t)
 		}
+		if c.flight != nil {
+			c.recordBarrier(t)
+		}
 	}
 	pending := 0
 	for _, sh := range c.shards {
@@ -235,6 +311,11 @@ func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
 	var energy float64
 	for _, sh := range c.shards { // shard order: deterministic float sum
 		energy += sh.EnergyJ()
+	}
+	if c.flight != nil {
+		// One closing epoch so trailing idle energy and the drained
+		// final state land in the ring.
+		c.recordBarrier(end)
 	}
 	return end, energy, nil
 }
@@ -313,6 +394,7 @@ func (c *ShardedScheduler) stealPass(t float64) {
 				}
 				thief.Engine.AdvanceTo(t)
 				thief.acceptStolen(j, vi, t)
+				c.flight.Steal(vi, i)
 				claimed++
 				budget--
 			}

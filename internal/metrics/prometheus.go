@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -121,6 +122,144 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		name := namer.claim(se.Name)
 		head(name, se.Name+" (latest sample)", "gauge")
 		fmt.Fprintf(bw, "%s %s\n", name, fmtF(se.Last))
+	}
+	return bw.Flush()
+}
+
+// promInstKey identifies one merged family: an instrument name plus
+// its occurrence index within its section (a snapshot may legally hold
+// several same-named instruments — e.g. a counter and a volatile
+// sibling — and the single-snapshot renderer gives each its own
+// family, so the merged form must too).
+type promInstKey struct {
+	name string
+	occ  int
+}
+
+// promMerge groups one section's instruments across shards by
+// (name, occurrence) and returns the keys in render order (name
+// ascending, occurrence ascending — the same order the per-snapshot
+// renderer claims them in, so collision suffixes stay deterministic).
+// bySample maps each key to the per-shard sample index, -1 when that
+// shard lacks the instrument.
+func promMerge(n int, section func(shard int) []string) (keys []promInstKey, bySample map[promInstKey][]int) {
+	bySample = make(map[promInstKey][]int)
+	for shard := 0; shard < n; shard++ {
+		occ := make(map[string]int)
+		for idx, nm := range section(shard) {
+			k := promInstKey{nm, occ[nm]}
+			occ[nm]++
+			row, ok := bySample[k]
+			if !ok {
+				row = make([]int, n)
+				for i := range row {
+					row[i] = -1
+				}
+				bySample[k] = row
+				keys = append(keys, k)
+			}
+			row[shard] = idx
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].occ < keys[j].occ
+	})
+	return keys, bySample
+}
+
+// WritePrometheusSharded merges per-shard snapshots into one
+// exposition: every instrument family appears once, carrying one
+// sample per shard labeled shard="i" (snaps index order). An
+// instrument absent from a shard's snapshot simply has no sample for
+// that shard. Families render in the single-snapshot section order —
+// counters, gauges, histograms, series, name-sorted over the union —
+// and summary quantile samples carry {quantile="q",shard="i"}.
+func WritePrometheusSharded(w io.Writer, snaps []Snapshot) error {
+	bw := bufio.NewWriter(w)
+	var namer promNamer
+	head := func(name, src, typ string) {
+		fmt.Fprintf(bw, "# HELP %s ecost instrument %s\n", name, promEscapeHelp(src))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+	}
+	n := len(snaps)
+
+	keys, rows := promMerge(n, func(shard int) []string {
+		names := make([]string, len(snaps[shard].Counters))
+		for i, c := range snaps[shard].Counters {
+			names[i] = c.Name
+		}
+		return names
+	})
+	for _, k := range keys {
+		fam := namer.claim(k.name)
+		head(fam, k.name, "counter")
+		for shard, idx := range rows[k] {
+			if idx >= 0 {
+				fmt.Fprintf(bw, "%s{shard=\"%d\"} %d\n", fam, shard, snaps[shard].Counters[idx].Value)
+			}
+		}
+	}
+
+	keys, rows = promMerge(n, func(shard int) []string {
+		names := make([]string, len(snaps[shard].Gauges))
+		for i, g := range snaps[shard].Gauges {
+			names[i] = g.Name
+		}
+		return names
+	})
+	for _, k := range keys {
+		fam := namer.claim(k.name)
+		head(fam, k.name, "gauge")
+		for shard, idx := range rows[k] {
+			if idx >= 0 {
+				fmt.Fprintf(bw, "%s{shard=\"%d\"} %s\n", fam, shard, fmtF(snaps[shard].Gauges[idx].Value))
+			}
+		}
+	}
+
+	keys, rows = promMerge(n, func(shard int) []string {
+		names := make([]string, len(snaps[shard].Histograms))
+		for i, h := range snaps[shard].Histograms {
+			names[i] = h.Name
+		}
+		return names
+	})
+	for _, k := range keys {
+		fam := namer.claim(k.name, "_sum", "_count")
+		head(fam, k.name, "summary")
+		for shard, idx := range rows[k] {
+			if idx < 0 {
+				continue
+			}
+			h := snaps[shard].Histograms[idx]
+			if h.Count > 0 {
+				fmt.Fprintf(bw, "%s{quantile=\"0.5\",shard=\"%d\"} %s\n", fam, shard, fmtF(h.P50))
+				fmt.Fprintf(bw, "%s{quantile=\"0.95\",shard=\"%d\"} %s\n", fam, shard, fmtF(h.P95))
+				fmt.Fprintf(bw, "%s{quantile=\"0.99\",shard=\"%d\"} %s\n", fam, shard, fmtF(h.P99))
+			}
+			fmt.Fprintf(bw, "%s_sum{shard=\"%d\"} %s\n", fam, shard, fmtF(h.Sum))
+			fmt.Fprintf(bw, "%s_count{shard=\"%d\"} %d\n", fam, shard, h.Count)
+		}
+	}
+
+	keys, rows = promMerge(n, func(shard int) []string {
+		names := make([]string, len(snaps[shard].Series))
+		for i, se := range snaps[shard].Series {
+			names[i] = se.Name
+		}
+		return names
+	})
+	for _, k := range keys {
+		fam := namer.claim(k.name)
+		head(fam, k.name+" (latest sample)", "gauge")
+		for shard, idx := range rows[k] {
+			if idx >= 0 {
+				fmt.Fprintf(bw, "%s{shard=\"%d\"} %s\n", fam, shard, fmtF(snaps[shard].Series[idx].Last))
+			}
+		}
 	}
 	return bw.Flush()
 }

@@ -76,6 +76,39 @@ func FuzzWritePrometheus(f *testing.F) {
 		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 			t.Fatal("two renders of the same snapshot differ")
 		}
+		// The shard-labeled merged form must round-trip too: same 7
+		// families, one labeled sample per shard per instrument sample,
+		// and no duplicates (the shard label disambiguates).
+		var sharded bytes.Buffer
+		if err := WritePrometheusSharded(&sharded, []Snapshot{snap, snap}); err != nil {
+			t.Fatalf("WritePrometheusSharded: %v", err)
+		}
+		sfams, err := parsePromText(sharded.String())
+		if err != nil {
+			t.Fatalf("sharded round-trip: %v\nexposition:\n%s", err, sharded.String())
+		}
+		if len(sfams) != 7 {
+			t.Fatalf("sharded: got %d families, want 7:\n%s", len(sfams), sharded.String())
+		}
+		ssamples := 0
+		for _, fam := range sfams {
+			for _, sm := range fam.samples {
+				if !strings.Contains(sm.labels, `shard="`) {
+					t.Fatalf("sharded sample without shard label: %+v\n%s", sm, sharded.String())
+				}
+				ssamples++
+			}
+		}
+		if ssamples != 24 {
+			t.Fatalf("sharded: got %d samples, want 12 per shard x 2:\n%s", ssamples, sharded.String())
+		}
+		var sagain bytes.Buffer
+		if err := WritePrometheusSharded(&sagain, []Snapshot{snap, snap}); err != nil {
+			t.Fatalf("second sharded render: %v", err)
+		}
+		if !bytes.Equal(sharded.Bytes(), sagain.Bytes()) {
+			t.Fatal("two sharded renders of the same snapshots differ")
+		}
 	})
 }
 

@@ -208,6 +208,67 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPrometheusShardedRoundTrip renders two different per-shard
+// registries through the merged shard-labeled writer and parses the
+// exposition back: one family per instrument, one shard="i" sample per
+// shard that holds it, values intact.
+func TestPrometheusShardedRoundTrip(t *testing.T) {
+	reg0 := NewRegistry()
+	reg0.Counter("sched.submitted").Add(16)
+	reg0.Gauge("power.energy_j.idle").Set(331.61)
+	h := reg0.Histogram("sched.wait_s", ExpBuckets(16, 2, 8))
+	h.Observe(12)
+	h.Observe(40)
+	reg0.Series("sched.queue_depth").Sample(0, 3)
+	reg1 := NewRegistry()
+	reg1.Counter("sched.submitted").Add(9)
+	reg1.Counter("sched.steals_in").Add(4) // only shard 1 has this one
+	reg1.Gauge("power.energy_j.idle").Set(120.5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheusSharded(&buf, []Snapshot{reg0.Snapshot(false), reg1.Snapshot(false)}); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String())
+	byName := map[string]promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	sub, ok := byName["ecost_sched_submitted"]
+	if !ok || len(sub.samples) != 2 {
+		t.Fatalf("submitted family = %+v\n%s", sub, buf.String())
+	}
+	if sub.samples[0].labels != `{shard="0"}` || sub.samples[0].value != 16 {
+		t.Errorf("shard 0 sample = %+v", sub.samples[0])
+	}
+	if sub.samples[1].labels != `{shard="1"}` || sub.samples[1].value != 9 {
+		t.Errorf("shard 1 sample = %+v", sub.samples[1])
+	}
+	// The shard-1-only counter has exactly one labeled sample.
+	if f := byName["ecost_sched_steals_in"]; len(f.samples) != 1 || f.samples[0].labels != `{shard="1"}` {
+		t.Errorf("steals_in samples = %+v", f.samples)
+	}
+	// The shard-0-only summary: 3 quantiles + sum + count, every label
+	// set carrying the shard.
+	f := byName["ecost_sched_wait_s"]
+	if f.typ != "summary" || len(f.samples) != 5 {
+		t.Fatalf("wait_s family = %+v", f)
+	}
+	for _, sm := range f.samples {
+		if !strings.Contains(sm.labels, `shard="0"`) {
+			t.Errorf("summary sample missing shard label: %+v", sm)
+		}
+	}
+	// Determinism across renders.
+	var again bytes.Buffer
+	if err := WritePrometheusSharded(&again, []Snapshot{reg0.Snapshot(false), reg1.Snapshot(false)}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Fatal("sharded exposition not deterministic")
+	}
+}
+
 // TestPrometheusDeterministic renders twice from equal registries.
 func TestPrometheusDeterministic(t *testing.T) {
 	render := func() string {
