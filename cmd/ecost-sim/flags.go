@@ -1,5 +1,11 @@
 package main
 
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
 // runFlags is the parsed flag set that participates in cross-flag
 // validation. Online carries the post-implication value (-metrics and
 // gen: scenarios silently enable -online before validation runs);
@@ -88,12 +94,6 @@ func (f runFlags) contradiction() string {
 	if f.HealthReport && f.Shards < 2 {
 		return "-health-report aggregates per-shard barrier telemetry; pass -shards 2 or more"
 	}
-	if f.Shards > 1 && f.TraceOut != "" {
-		// -serve works across shards (merged + ?shard=N endpoints), but
-		// a Chrome trace is one stream per file; the sharded control
-		// plane exports per-shard spans.
-		return "-trace-out writes one merged Chrome trace; the sharded control plane exports per-shard spans — use -timeline-out, or -shards 1"
-	}
 	if f.TraceReplay != "" {
 		// A replayed trace IS the stream; every other stream-shaping
 		// flag contradicts it.
@@ -126,4 +126,56 @@ func (f runFlags) contradiction() string {
 		}
 	}
 	return ""
+}
+
+// outputPaths lists the flags that write a file at the end of the run,
+// in the order unwritable targets are reported.
+func (f runFlags) outputPaths() []struct {
+	name string
+	path string
+} {
+	return []struct {
+		name string
+		path string
+	}{
+		{"-flight-out", f.FlightOut},
+		{"-trace-out", f.TraceOut},
+		{"-timeline-out", f.TimelineOut},
+	}
+}
+
+// unwritableOutput probes each set output flag's target directory and
+// returns the usage message for the first one that cannot take a file,
+// or "". Probing at flag-validation time fails fast with exit 2
+// instead of erroring on the first dump after a long run.
+func (f runFlags) unwritableOutput() string {
+	for _, o := range f.outputPaths() {
+		if o.path == "" {
+			continue
+		}
+		if err := probeWritableDir(filepath.Dir(o.path)); err != nil {
+			return fmt.Sprintf("%s %s: %v", o.name, o.path, err)
+		}
+	}
+	return ""
+}
+
+// probeWritableDir verifies a file can be created in dir by creating
+// and removing a temp file there — the only check that catches every
+// failure mode (missing directory, not a directory, read-only mount,
+// permissions) without racing the end-of-run write.
+func probeWritableDir(dir string) error {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("target directory does not exist: %w", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("target directory %s is not a directory", dir)
+	}
+	tmp, err := os.CreateTemp(dir, ".ecost-probe-*")
+	if err != nil {
+		return fmt.Errorf("target directory is not writable: %w", err)
+	}
+	tmp.Close()
+	return os.Remove(tmp.Name())
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,7 +80,11 @@ func TestFlagContradictions(t *testing.T) {
 		{"steal single shard", runFlags{Online: true, Steal: true, Shards: 1, ShardsSet: true, Nodes: 8}, "-steal migrates queued jobs between shards"},
 		{"steal default shards", runFlags{Online: true, Steal: true, Shards: 1, Nodes: 8}, "-steal migrates queued jobs between shards"},
 		{"steal with shards", runFlags{Online: true, Steal: true, Shards: 2, ShardsSet: true, Nodes: 8}, ""},
-		{"shards with trace-out", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, "-trace-out writes one merged Chrome trace"},
+		// Sharded tracing: each shard records its own span set and
+		// -trace-out merges them deterministically, so the old
+		// shards-vs-trace-out contradiction is gone.
+		{"shards with trace-out", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, TraceOut: "t.json"}, ""},
+		{"shards with trace-out and steal", runFlags{Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true, TraceOut: "t.json"}, ""},
 		// -serve works across shards since the mux grew merged + ?shard=N
 		// views; the old single-registry contradiction is gone.
 		{"shards with serve", runFlags{Online: true, Shards: 2, ShardsSet: true, Nodes: 8, ServeAddr: ":0"}, ""},
@@ -86,6 +92,11 @@ func TestFlagContradictions(t *testing.T) {
 		{"shards with timeline and metrics", runFlags{
 			Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true,
 			Metrics: true, TimelineOut: "t.txt", QualityReport: true, EDPReport: true,
+		}, ""},
+		{"everything sharded", runFlags{
+			Online: true, Shards: 4, ShardsSet: true, Nodes: 8, Steal: true,
+			Metrics: true, TraceOut: "t.json", TimelineOut: "t.txt", EDPReport: true,
+			QualityReport: true, ServeAddr: ":0", FlightOut: "f.jsonl", HealthReport: true,
 		}, ""},
 		// Flight recorder flags record per-shard barrier telemetry; both
 		// need the sharded control plane (and, transitively, -online).
@@ -120,5 +131,59 @@ func TestFlagContradictions(t *testing.T) {
 	all := runFlags{Jobs: 1, TraceRecord: "x", TraceReplay: "x", TraceOut: "x", TimelineOut: "x", EDPReport: true, QualityReport: true, ServeAddr: "x", ShardsSet: true, Steal: true, FlightOut: "x", HealthReport: true}
 	if got := len(all.onlineOnly()); got != 12 {
 		t.Fatalf("onlineOnly lists %d flags; update TestFlagContradictions", got)
+	}
+}
+
+// TestUnwritableOutput covers the fail-fast probe for path-writing
+// flags: a target in a missing directory, or whose "directory" is a
+// plain file, is rejected at validation time (main exits 2) instead of
+// erroring on the first dump after a long run.
+func TestUnwritableOutput(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "no", "such", "dir", "out.json")
+	underFile := filepath.Join(file, "out.json")
+	ok := filepath.Join(dir, "out.json")
+
+	cases := []struct {
+		name  string
+		flags runFlags
+		want  string // substring of the usage message; "" = writable
+	}{
+		{"no outputs", runFlags{Online: true}, ""},
+		{"relative path", runFlags{Online: true, TraceOut: "t.json"}, ""},
+		{"writable dir", runFlags{Online: true, TraceOut: ok, TimelineOut: ok, FlightOut: ok}, ""},
+		{"trace-out missing dir", runFlags{Online: true, TraceOut: missing}, "-trace-out"},
+		{"timeline-out missing dir", runFlags{Online: true, TimelineOut: missing}, "-timeline-out"},
+		{"flight-out missing dir", runFlags{Online: true, FlightOut: missing}, "-flight-out"},
+		{"dir is a file", runFlags{Online: true, TraceOut: underFile}, "not a directory"},
+		// Report order follows outputPaths: -flight-out first.
+		{"first failure reported", runFlags{Online: true, FlightOut: missing, TraceOut: missing}, "-flight-out"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.flags.unwritableOutput()
+			if tc.want == "" && got != "" {
+				t.Fatalf("writable outputs rejected: %q", got)
+			}
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Fatalf("unwritableOutput = %q, want substring %q", got, tc.want)
+			}
+		})
+	}
+	// Every probed flag corresponds to a real output path, and the probe
+	// leaves no droppings behind in a writable directory.
+	if n := len(runFlags{}.outputPaths()); n != 3 {
+		t.Fatalf("outputPaths lists %d flags; update TestUnwritableOutput", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("probe left files behind in %s: %v", dir, ents)
 	}
 }

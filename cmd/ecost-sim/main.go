@@ -36,7 +36,12 @@
 // lifecycle, map/reduce phases, per-node occupancy) loadable in
 // Perfetto or chrome://tracing; -timeline-out writes the same spans as
 // a deterministic text timeline; -edp-report prints the per-job and
-// per-class energy/EDP attribution rollup. -quality-report prints the
+// per-class energy/EDP attribution rollup. Sharded runs (-shards 2+)
+// trace too: each shard records its own span set, -trace-out merges
+// them deterministically into one document with a track group per
+// shard and cross-shard steals drawn as flow arrows (steal_out →
+// steal_in), and -timeline-out writes per-shard "== shard N =="
+// sections plus a "== merged ==" global section. -quality-report prints the
 // decision-quality report (classifier confusion, predicted-vs-realized
 // STP error, co-location interference, oracle regret, drift alerts)
 // built from the per-decision audit log. -serve exposes all of the
@@ -125,7 +130,7 @@ func main() {
 			shardsSet = true
 		}
 	})
-	if msg := (runFlags{
+	rf := runFlags{
 		Online:          *online,
 		Nodes:           *nodes,
 		Jobs:            *jobs,
@@ -147,7 +152,11 @@ func main() {
 		Shards:          *shards,
 		ShardsSet:       shardsSet,
 		Steal:           *steal,
-	}).contradiction(); msg != "" {
+	}
+	if msg := rf.contradiction(); msg != "" {
+		cliutil.Usagef(msg)
+	}
+	if msg := rf.unwritableOutput(); msg != "" {
 		cliutil.Usagef(msg)
 	}
 
@@ -182,6 +191,7 @@ func main() {
 				metrics:         *emitMetrics,
 				metricsJSON:     *metricsJSON,
 				metricsVolatile: *metricsVolatile,
+				traceOut:        *traceOut,
 				timelineOut:     *timelineOut,
 				edpReport:       *edpReport,
 				qualityReport:   *qualityReport,

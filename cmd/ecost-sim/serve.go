@@ -28,6 +28,18 @@ type serveSources struct {
 
 func (s serveSources) shards() int { return len(s.regs) }
 
+// shardSet assembles the selected shards' tracers into a ShardSet for
+// the merged exporters. Selection order is shard order (a merged view
+// always selects every shard), so the attach-time shard stamps match
+// the spans' own.
+func (s serveSources) shardSet(idx []int) *tracing.ShardSet {
+	ts := tracing.NewShardSet()
+	for _, i := range idx {
+		ts.Attach(s.trs[i])
+	}
+	return ts
+}
+
 // shardParam resolves the optional ?shard=N selector: -1 (merged view)
 // when absent, the shard index when valid, an error otherwise.
 func (s serveSources) shardParam(r *http.Request) (int, error) {
@@ -46,9 +58,11 @@ func (s serveSources) shardParam(r *http.Request) (int, error) {
 // the live sources at request time, so a scrape during the run sees
 // the simulation's progress and a scrape after it sees the final
 // state. Multi-shard runs serve merged views by default (Prometheus
-// families gain a shard label; text exports concatenate "== shard N =="
-// sections) and per-shard views via ?shard=N; the flight recorder adds
-// /shards, /epochs, /health, and /flight.
+// families gain a shard label; /trace merges span sets into one
+// document with a track group per shard and steal flow arrows; text
+// exports concatenate "== shard N ==" sections) and per-shard views via
+// ?shard=N — byte-identical to that shard's solo export; the flight
+// recorder adds /shards, /epochs, /health, and /flight.
 func newServeMux(s serveSources) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -58,7 +72,7 @@ func newServeMux(s serveSources) *http.ServeMux {
 		}
 		fmt.Fprint(w, "ecost-sim observability endpoints (?shard=N selects one shard):\n"+
 			"  /metrics      Prometheus text exposition (multi-shard runs label families with shard=\"N\")\n"+
-			"  /trace        Chrome trace_event JSON (load in Perfetto / chrome://tracing; per shard)\n"+
+			"  /trace        Chrome trace_event JSON (load in Perfetto / chrome://tracing; merged across shards, one track group per shard)\n"+
 			"  /timeline     deterministic text timeline of all spans\n"+
 			"  /report       per-job and per-class EDP attribution report\n"+
 			"  /decisions    per-decision audit log as JSON Lines\n"+
@@ -142,12 +156,16 @@ func newServeMux(s serveSources) *http.ServeMux {
 		if !ok || !needTrace(w, idx) {
 			return
 		}
-		if len(idx) > 1 {
-			http.Error(w, "a Chrome trace is one stream per shard; pass ?shard=N", http.StatusBadRequest)
-			return
-		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := s.trs[idx[0]].WriteChromeTrace(w); err != nil {
+		var err error
+		if len(idx) == 1 {
+			// One shard selected (or an unsharded run): the solo export,
+			// byte-identical to that shard's own -trace-out.
+			err = s.trs[idx[0]].WriteChromeTrace(w)
+		} else {
+			err = s.shardSet(idx).WriteChromeTrace(w)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -157,7 +175,17 @@ func newServeMux(s serveSources) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		sections(w, idx, func(i int) error { return s.trs[i].WriteTimeline(w) })
+		var err error
+		if len(idx) == 1 {
+			err = s.trs[idx[0]].WriteTimeline(w)
+		} else {
+			// Per-shard "== shard N ==" sections plus the "== merged =="
+			// global section — the same form -timeline-out writes.
+			err = s.shardSet(idx).WriteTimeline(w)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		idx, ok := pick(w, r)
@@ -165,7 +193,21 @@ func newServeMux(s serveSources) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		sections(w, idx, func(i int) error { return s.trs[i].Report().WriteText(w) })
+		for _, i := range idx {
+			if len(idx) > 1 {
+				fmt.Fprintf(w, "== shard %d ==\n", i)
+			}
+			if err := s.trs[i].Report().WriteText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		if len(idx) > 1 {
+			fmt.Fprintf(w, "== merged ==\n")
+			if err := s.shardSet(idx).Report().WriteText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
 	})
 	needAudit := func(w http.ResponseWriter, idx []int) bool {
 		for _, i := range idx {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -305,5 +306,103 @@ func TestServeSharded(t *testing.T) {
 	// No anomaly fired, so the flight dump stream is empty but served.
 	if code, body := get(t, srv.URL+"/flight"); code != http.StatusOK || strings.TrimSpace(body) != "" {
 		t.Errorf("/flight status %d body:\n%s", code, body)
+	}
+}
+
+// TestServeShardedTrace covers the sharded trace endpoints: the merged
+// /trace and /timeline views (flow-linked steal pair, per-shard
+// sections), and ?shard=N selection byte-identical to the shard
+// tracer's own solo export.
+func TestServeShardedTrace(t *testing.T) {
+	ts := tracing.NewShardSet()
+	trs := make([]*tracing.Tracer, 2)
+	for i := range trs {
+		now := 0.0
+		trs[i] = tracing.New(func() float64 { return now })
+		ts.Attach(trs[i])
+	}
+	trs[0].Record(tracing.KindNode, "solo", nil, 0, 100, tracing.Attrs{Job: -1, Node: 0}).SetEnergy(60)
+	trs[1].Record(tracing.KindNode, "solo", nil, 0, 100, tracing.Attrs{Job: -1, Node: 1}).SetEnergy(40)
+	trs[0].Record(tracing.KindRun, "run wc", nil, 10, 90,
+		tracing.Attrs{Job: 0, Node: 0, App: "wc", Class: "CPU", SizeGB: 5, Config: "m4f2.4"}).SetEnergy(60)
+	trs[0].Record(tracing.KindStealOut, "steal_out", nil, 20, 20,
+		tracing.Attrs{Job: 1, Node: -1, App: "wc", Detail: "to=shard1", Link: 1})
+	trs[1].Record(tracing.KindStealIn, "steal_in", nil, 20, 20,
+		tracing.Attrs{Job: 1, Node: -1, App: "wc", Detail: "from=shard0", Link: 1})
+
+	srv := httptest.NewServer(newServeMux(serveSources{
+		regs: []*metrics.Registry{nil, nil},
+		trs:  trs,
+		auds: []*audit.Log{nil, nil},
+	}))
+	t.Cleanup(srv.Close)
+
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("merged /trace status %d: %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			ID int    `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("merged /trace is not valid JSON: %v", err)
+	}
+	var flowS, flowF int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Fatalf("merged /trace has %d flow starts and %d finishes, want 1/1", flowS, flowF)
+	}
+
+	// ?shard=N is byte-identical to the shard tracer's solo export.
+	for i, tr := range trs {
+		var want strings.Builder
+		if err := tr.WriteChromeTrace(&want); err != nil {
+			t.Fatal(err)
+		}
+		code, body := get(t, srv.URL+fmt.Sprintf("/trace?shard=%d", i))
+		if code != http.StatusOK || body != want.String() {
+			t.Errorf("/trace?shard=%d diverges from solo export (status %d):\n%s\nvs\n%s", i, code, body, want.String())
+		}
+		want.Reset()
+		if err := tr.WriteTimeline(&want); err != nil {
+			t.Fatal(err)
+		}
+		code, body = get(t, srv.URL+fmt.Sprintf("/timeline?shard=%d", i))
+		if code != http.StatusOK || body != want.String() {
+			t.Errorf("/timeline?shard=%d diverges from solo export (status %d):\n%s\nvs\n%s", i, code, body, want.String())
+		}
+	}
+
+	code, body = get(t, srv.URL+"/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("merged /timeline status %d: %s", code, body)
+	}
+	for _, want := range []string{"== shard 0 ==", "== shard 1 ==", "== merged ==", "steal_out", "link=1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("merged /timeline missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.URL+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("merged /report status %d: %s", code, body)
+	}
+	for _, want := range []string{"== shard 0 ==", "== merged ==", "# ecost EDP attribution"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("merged /report missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, srv.URL+"/trace?shard=5"); code != http.StatusBadRequest {
+		t.Errorf("/trace?shard=5 status %d body:\n%s", code, body)
 	}
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -25,13 +24,17 @@ import (
 // shardedOut selects which observability artifacts the sharded runner
 // produces. Every export is per shard (each shard owns its registry,
 // tracer, and audit log — they are written concurrently during epochs),
-// printed or written as "== shard N ==" sections in shard order.
-// serveAddr additionally exposes merged + ?shard=N views over HTTP, and
-// flightOut/healthReport enable the barrier flight recorder.
+// printed or written as "== shard N ==" sections in shard order;
+// traceOut and the timeline/EDP surfaces additionally render the
+// deterministic merged view (one Chrome track group per shard, steal
+// flow arrows, a "== merged ==" section). serveAddr exposes merged +
+// ?shard=N views over HTTP, and flightOut/healthReport enable the
+// barrier flight recorder.
 type shardedOut struct {
 	metrics         bool
 	metricsJSON     bool
 	metricsVolatile bool
+	traceOut        string
 	timelineOut     string
 	edpReport       bool
 	qualityReport   bool
@@ -72,13 +75,17 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 		if regs[i] != nil {
 			sh.SetMetrics(regs[i])
 		}
-		if out.timelineOut != "" || out.edpReport || serving {
-			trs[i] = tracing.New(sh.Engine.Clock())
-			sh.SetTracer(trs[i])
-		}
 		if out.qualityReport || serving {
 			auds[i] = audit.NewLog(audit.DriftConfig{})
 			sh.SetAudit(auds[i])
+		}
+	}
+	var ts *tracing.ShardSet
+	if out.traceOut != "" || out.timelineOut != "" || out.edpReport || serving {
+		ts = tracing.NewShardSet()
+		sched.SetTracer(ts)
+		for i := range trs {
+			trs[i] = ts.Tracer(i)
 		}
 	}
 	var fr *flight.Recorder
@@ -135,18 +142,16 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 		}
 	}
 
+	if out.traceOut != "" {
+		if err := writeArtifact(out.traceOut, ts.WriteChromeTrace); err != nil {
+			cliutil.Fatalf("writing -trace-out failed", "err", err)
+		}
+		slog.Info("wrote merged Chrome trace", "path", out.traceOut, "shards", shards)
+	}
 	if out.timelineOut != "" {
-		if err := writeArtifact(out.timelineOut, func(w io.Writer) error {
-			for i, tr := range trs {
-				if _, err := fmt.Fprintf(w, "== shard %d ==\n", i); err != nil {
-					return err
-				}
-				if err := tr.WriteTimeline(w); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
+		// Per-shard "== shard N ==" sections plus the "== merged =="
+		// global section in canonical merged order.
+		if err := writeArtifact(out.timelineOut, ts.WriteTimeline); err != nil {
 			cliutil.Fatalf("writing -timeline-out failed", "err", err)
 		}
 	}
@@ -156,6 +161,10 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 			if err := tr.Report().WriteText(os.Stdout); err != nil {
 				cliutil.Fatalf("writing -edp-report failed", "err", err)
 			}
+		}
+		fmt.Printf("\n== merged ==\n")
+		if err := ts.Report().WriteText(os.Stdout); err != nil {
+			cliutil.Fatalf("writing -edp-report failed", "err", err)
 		}
 	}
 	if out.qualityReport {

@@ -649,13 +649,14 @@ func (s *OnlineScheduler) FreeSlots() int {
 	return 2*s.freeCnt + s.halfCnt
 }
 
-// releaseHead removes the wait queue's head for migration to another
-// shard at barrier time `at` (the engine must already be advanced to
-// at). The victim closes the job's open spans and forgets it — the
-// audit record stays submit-only, documenting where the job first
-// landed — while the thief re-registers it under the same global id.
-// Returns nil when the queue is empty.
-func (s *OnlineScheduler) releaseHead(at float64) *Job {
+// releaseHead removes the wait queue's head for migration to shard
+// `to` at barrier time `at` (the engine must already be advanced to
+// at). The victim records a steal_out span carrying the steal's link
+// id, closes the job's open spans, and forgets it — the audit record
+// stays submit-only, documenting where the job first landed — while
+// the thief re-registers it under the same global id. Returns nil when
+// the queue is empty.
+func (s *OnlineScheduler) releaseHead(at float64, to, link int) *Job {
 	j := s.queue.PopHead()
 	if j == nil {
 		return nil
@@ -667,6 +668,13 @@ func (s *OnlineScheduler) releaseHead(at float64) *Job {
 	}
 	if s.tracer != nil {
 		if js := s.traced[j.ID]; js != nil {
+			if link > 0 {
+				s.tracer.Record(tracing.KindStealOut, "steal_out", js.job, at, at, tracing.Attrs{
+					Job: j.ID, Node: -1,
+					App: j.Obs.App.Name, Class: j.Class.String(), SizeGB: j.Obs.SizeGB,
+					Detail: fmt.Sprintf("to=shard%d", to), Link: link,
+				})
+			}
 			js.wait.FinishAt(at)
 			js.job.FinishAt(at)
 			delete(s.traced, j.ID)
@@ -679,9 +687,10 @@ func (s *OnlineScheduler) releaseHead(at float64) *Job {
 // barrier time `at` (the engine must already be advanced to at). The
 // job keeps its global id, observation, class, and original arrival
 // time — wait-latency metrics still measure from first submission —
-// and opens fresh spans plus a fresh audit record in this shard's
+// and opens fresh spans (plus a steal_in span linked to the victim's
+// steal_out through `link`) and a fresh audit record in this shard's
 // exports. The caller dispatches after the claim batch.
-func (s *OnlineScheduler) acceptStolen(j *Job, from int, at float64) {
+func (s *OnlineScheduler) acceptStolen(j *Job, from int, at float64, link int) {
 	s.pending++
 	s.queue.Push(j)
 	s.aud.Submit(j.ID, j.Obs.App.Name, j.Obs.SizeGB, j.Obs.App.Class.String(), j.Class.String(), j.Arrived)
@@ -702,6 +711,12 @@ func (s *OnlineScheduler) acceptStolen(j *Job, from int, at float64) {
 		js.job = s.tracer.Start(tracing.KindJob, "job "+j.Obs.App.Name, nil, attrs)
 		js.wait = s.tracer.Start(tracing.KindWait, "wait", js.job, attrs)
 		s.traced[j.ID] = js
+		if link > 0 {
+			inAttrs := attrs
+			inAttrs.Detail = fmt.Sprintf("from=shard%d", from)
+			inAttrs.Link = link
+			s.tracer.Record(tracing.KindStealIn, "steal_in", js.job, at, at, inAttrs)
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"ecost/internal/mapreduce"
 	"ecost/internal/power"
 	"ecost/internal/sim"
+	"ecost/internal/tracing"
 	"ecost/internal/workloads"
 )
 
@@ -175,6 +176,25 @@ func (c *ShardedScheduler) SetFlight(r *flight.Recorder) {
 	r.SetTenantSource(func(shard, max int) []string {
 		return c.shards[shard].TopTenants(max)
 	})
+}
+
+// SetTracer attaches a sharded span tracer: one fresh Tracer per shard
+// — reading that shard's engine clock, stamped with its shard index —
+// appended to ts in shard order. Call before the first Submit on a
+// fresh ShardSet; pass nil to detach every shard. Each shard's tracer
+// is written only by that shard's goroutine between barriers (plus the
+// single-threaded steal pass), and ts merges the span sets
+// deterministically for export.
+func (c *ShardedScheduler) SetTracer(ts *tracing.ShardSet) {
+	for _, sh := range c.shards {
+		if ts == nil {
+			sh.SetTracer(nil)
+			continue
+		}
+		tr := tracing.New(sh.Engine.Clock())
+		ts.Attach(tr)
+		sh.SetTracer(tr)
+	}
 }
 
 // recordBarrier samples every shard after a barrier's events and steal
@@ -388,19 +408,24 @@ func (c *ShardedScheduler) stealPass(t float64) {
 			victim := c.shards[vi]
 			for budget > 0 && victim.QueueLen() > 0 {
 				victim.Engine.AdvanceTo(t)
-				j := victim.releaseHead(t)
+				// The link id is the global steal sequence number — a
+				// function of shard state and t alone, so the victim's
+				// steal_out span and the thief's steal_in span carry
+				// the same id in every run of the same stream.
+				link := c.steals + 1
+				j := victim.releaseHead(t, i, link)
 				if j == nil {
 					break
 				}
 				thief.Engine.AdvanceTo(t)
-				thief.acceptStolen(j, vi, t)
+				thief.acceptStolen(j, vi, t, link)
 				c.flight.Steal(vi, i)
+				c.steals++
 				claimed++
 				budget--
 			}
 		}
 		if claimed > 0 {
-			c.steals += claimed
 			thief.dispatch()
 		}
 	}

@@ -1,0 +1,267 @@
+package core
+
+// Cross-shard distributed tracing tests: the SetTracer fan-out, the
+// deterministic merge, steal flow linkage, and the shard-wise
+// extension of the energy-conservation invariants.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"ecost/internal/audit"
+	"ecost/internal/metrics"
+	"ecost/internal/sim"
+	"ecost/internal/tracing"
+)
+
+// runShardedTraceSet drives one sharded run with the full
+// observability stack attached, the tracers wired through the control
+// plane's SetTracer fan-out (the CLI path). The registries and audit
+// logs mirror runSharded/equivRun so a 1-shard run is byte-comparable
+// with the legacy unsharded scheduler.
+func runShardedTraceSet(t *testing.T, nodes int, cfg ShardedConfig, submit func(c *ShardedScheduler)) (*ShardedScheduler, *tracing.ShardSet) {
+	t.Helper()
+	fixture(t)
+	prof := NewProfiler(fix.model, sim.NewRNG(99))
+	regs := make([]*metrics.Registry, 0, cfg.Shards)
+	newTuner := func() STP {
+		reg := metrics.NewRegistry()
+		regs = append(regs, reg)
+		return NewMeteredSTP(NewMemoSTP(fix.lkt, reg), fix.model, reg)
+	}
+	c, err := NewShardedScheduler(fix.model, fix.db, prof, newTuner, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := c.Shard(i)
+		sh.SetMetrics(regs[i])
+		sh.SetAudit(audit.NewLog(audit.DriftConfig{}))
+	}
+	ts := tracing.NewShardSet()
+	c.SetTracer(ts)
+	submit(c)
+	if _, _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+// render captures one export surface as a string.
+func render(t *testing.T, write func(w *bytes.Buffer) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestShardSetSingleShardLegacyEquivalence: with one shard, the
+// ShardSet's merged exports are byte-identical to the legacy unsharded
+// tracer's — the timeline matches the unsharded scheduler's run of the
+// same stream, and both ShardSet exporters delegate exactly to the
+// solo tracer.
+func TestShardSetSingleShardLegacyEquivalence(t *testing.T) {
+	legacy := equivRun(t, false)
+	submitWS4 := func(c *ShardedScheduler) {
+		wl, err := Scenario("WS4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, j := range wl.Jobs {
+			c.Submit(j.App, j.SizeGB, float64(i)*40)
+		}
+	}
+	c, ts := runShardedTraceSet(t, 2, ShardedConfig{Shards: 1}, submitWS4)
+	if got := ts.Shards(); got != 1 {
+		t.Fatalf("SetTracer attached %d tracers, want 1", got)
+	}
+	if got := render(t, func(w *bytes.Buffer) error { return ts.WriteTimeline(w) }); got != legacy.timeline {
+		t.Fatalf("1-shard ShardSet timeline != legacy unsharded timeline:\n--- sharded ---\n%s\n--- legacy ---\n%s",
+			got, legacy.timeline)
+	}
+	solo := ts.Tracer(0)
+	if got, want := render(t, func(w *bytes.Buffer) error { return ts.WriteChromeTrace(w) }),
+		render(t, func(w *bytes.Buffer) error { return solo.WriteChromeTrace(w) }); got != want {
+		t.Fatal("1-shard ShardSet Chrome trace != solo tracer export")
+	}
+	rep := ts.Report()
+	if rel := relErr(rep.Phases.TotalJ(), c.EnergyJ()); rel > 1e-9 {
+		t.Fatalf("merged report energy %.6f != scheduler energy %.6f (rel %g)", rep.Phases.TotalJ(), c.EnergyJ(), rel)
+	}
+}
+
+// TestShardedMergedTraceGOMAXPROCSInvariance: the merged Chrome trace
+// and timeline of a steal-heavy multi-shard run are byte-identical at
+// GOMAXPROCS 1 and 4 — the merge is a pure function of the stream,
+// invariant to shard drain order.
+func TestShardedMergedTraceGOMAXPROCSInvariance(t *testing.T) {
+	var baseChrome, baseTimeline string
+	for i, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		c, ts := runShardedTraceSet(t, 8, ShardedConfig{Shards: 4, Steal: true}, skewedStream(t, 48, 10))
+		runtime.GOMAXPROCS(old)
+		if c.Steals() == 0 {
+			t.Fatal("steal pass never fired — the invariance case is vacuous")
+		}
+		chrome := render(t, func(w *bytes.Buffer) error { return ts.WriteChromeTrace(w) })
+		timeline := render(t, func(w *bytes.Buffer) error { return ts.WriteTimeline(w) })
+		if i == 0 {
+			baseChrome, baseTimeline = chrome, timeline
+			continue
+		}
+		if chrome != baseChrome {
+			t.Fatal("merged Chrome trace diverged across GOMAXPROCS")
+		}
+		if timeline != baseTimeline {
+			t.Fatal("merged timeline diverged across GOMAXPROCS")
+		}
+	}
+}
+
+// TestShardedStealFlowPairs: every steal produces exactly one
+// victim-side steal_out span and one thief-side steal_in span sharing
+// a unique link id, each naming the counterparty shard, and the merged
+// Chrome export joins them with a flow-start ("s") / flow-finish ("f")
+// event pair per link.
+func TestShardedStealFlowPairs(t *testing.T) {
+	c, ts := runShardedTraceSet(t, 8, ShardedConfig{Shards: 4, Steal: true}, skewedStream(t, 48, 10))
+	steals := c.Steals()
+	if steals == 0 {
+		t.Fatal("steal pass never fired")
+	}
+	outs := map[int]tracing.Span{}
+	ins := map[int]tracing.Span{}
+	for _, s := range ts.Merge() {
+		switch s.Kind {
+		case tracing.KindStealOut:
+			if _, dup := outs[s.Attrs.Link]; dup {
+				t.Fatalf("link %d has two steal_out spans", s.Attrs.Link)
+			}
+			outs[s.Attrs.Link] = s
+		case tracing.KindStealIn:
+			if _, dup := ins[s.Attrs.Link]; dup {
+				t.Fatalf("link %d has two steal_in spans", s.Attrs.Link)
+			}
+			ins[s.Attrs.Link] = s
+		}
+	}
+	if len(outs) != steals || len(ins) != steals {
+		t.Fatalf("%d steal_out and %d steal_in spans for %d steals", len(outs), len(ins), steals)
+	}
+	for link, out := range outs {
+		in, ok := ins[link]
+		if !ok {
+			t.Fatalf("steal_out link %d has no steal_in counterpart", link)
+		}
+		if out.Attrs.Job != in.Attrs.Job || out.Attrs.App != in.Attrs.App || out.Start != in.Start {
+			t.Fatalf("link %d halves disagree: out %+v in %+v", link, out.Attrs, in.Attrs)
+		}
+		if out.Shard == in.Shard {
+			t.Fatalf("link %d stayed on shard %d — steals are cross-shard by construction", link, out.Shard)
+		}
+		// Each half names the counterparty shard.
+		if want := fmt.Sprintf("to=shard%d", in.Shard); out.Attrs.Detail != want {
+			t.Fatalf("link %d steal_out detail %q, want %q", link, out.Attrs.Detail, want)
+		}
+		if want := fmt.Sprintf("from=shard%d", out.Shard); in.Attrs.Detail != want {
+			t.Fatalf("link %d steal_in detail %q, want %q", link, in.Attrs.Detail, want)
+		}
+	}
+
+	// The merged Chrome document carries one flow pair per steal, ids
+	// matching the span links.
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			ID int    `json:"id"`
+			BP string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	raw := render(t, func(w *bytes.Buffer) error { return ts.WriteChromeTrace(w) })
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	starts := map[int]int{}
+	finishes := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			starts[e.ID]++
+		case "f":
+			finishes[e.ID]++
+			if e.BP != "e" {
+				t.Fatalf("flow finish id %d missing bp=e binding", e.ID)
+			}
+		}
+	}
+	if len(starts) != steals || len(finishes) != steals {
+		t.Fatalf("%d flow starts and %d finishes for %d steals", len(starts), len(finishes), steals)
+	}
+	for link := range outs {
+		if starts[link] != 1 || finishes[link] != 1 {
+			t.Fatalf("link %d has %d flow starts and %d finishes, want 1/1", link, starts[link], finishes[link])
+		}
+	}
+
+	// The merged timeline renders both halves with their link ids.
+	timeline := render(t, func(w *bytes.Buffer) error { return ts.WriteTimeline(w) })
+	for _, pat := range []string{`steal_out`, `steal_in`, `link=1\b`, `== merged ==`} {
+		if !regexp.MustCompile(pat).MatchString(timeline) {
+			t.Fatalf("merged timeline missing %q:\n%s", pat, timeline[:min(2000, len(timeline))])
+		}
+	}
+}
+
+// TestShardedTraceEnergyConservation extends the conservation
+// invariants shard-wise: per shard, the node-occupancy spans integrate
+// exactly that shard's engine energy; summed over shards they match
+// the global total the merged report prints; and the merged run spans
+// carry exactly the solo+co-located share.
+func TestShardedTraceEnergyConservation(t *testing.T) {
+	c, ts := runShardedTraceSet(t, 8, ShardedConfig{Shards: 4, Steal: true}, skewedStream(t, 48, 10))
+	if c.Steals() == 0 {
+		t.Fatal("steal pass never fired — conservation across steals is vacuous")
+	}
+	var nodeSum float64
+	for i := 0; i < c.Shards(); i++ {
+		spans := ts.Tracer(i).Spans()
+		shardNodes := tracing.TotalEnergyJ(spans, tracing.KindNode)
+		if rel := relErr(shardNodes, c.Shard(i).EnergyJ()); rel > 1e-9 {
+			t.Fatalf("shard %d: node spans %.6f J != engine energy %.6f J (rel %g)",
+				i, shardNodes, c.Shard(i).EnergyJ(), rel)
+		}
+		nodeSum += shardNodes
+	}
+	if rel := relErr(nodeSum, c.EnergyJ()); rel > 1e-9 {
+		t.Fatalf("Σ per-shard node spans %.6f J != global energy %.6f J (rel %g)", nodeSum, c.EnergyJ(), rel)
+	}
+	merged := ts.Merge()
+	p := c.Phases()
+	runSum := tracing.TotalEnergyJ(merged, tracing.KindRun)
+	if rel := relErr(runSum, p.SoloJ+p.CoJ); rel > 1e-9 {
+		t.Fatalf("merged run spans %.6f J != solo+co %.6f J (rel %g)", runSum, p.SoloJ+p.CoJ, rel)
+	}
+	phaseSum := tracing.TotalEnergyJ(merged, tracing.KindMap) + tracing.TotalEnergyJ(merged, tracing.KindReduce)
+	if rel := relErr(phaseSum, runSum); rel > 1e-9 {
+		t.Fatalf("merged map+reduce spans %.6f J != run spans %.6f J (rel %g)", phaseSum, runSum, rel)
+	}
+	// Steal spans are instantaneous markers: they carry no energy.
+	for _, k := range []tracing.Kind{tracing.KindStealOut, tracing.KindStealIn} {
+		if e := tracing.TotalEnergyJ(merged, k); e != 0 {
+			t.Fatalf("%v spans carry %.6f J, want 0", k, e)
+		}
+	}
+	rep := ts.Report()
+	if rel := relErr(rep.Phases.TotalJ(), c.EnergyJ()); rel > 1e-9 {
+		t.Fatalf("merged report total %.6f J != global energy %.6f J (rel %g)", rep.Phases.TotalJ(), c.EnergyJ(), rel)
+	}
+	if rel := relErr(rep.AttributedJ, p.SoloJ+p.CoJ); rel > 1e-9 {
+		t.Fatalf("merged report attributed %.6f J != solo+co %.6f J (rel %g)", rep.AttributedJ, p.SoloJ+p.CoJ, rel)
+	}
+}

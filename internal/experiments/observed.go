@@ -10,17 +10,21 @@ import (
 	"ecost/internal/metrics"
 	"ecost/internal/scenario"
 	"ecost/internal/trace"
+	"ecost/internal/tracing"
 )
 
 // ShardedObservation bundles the observability handles of one fully
-// observed sharded run: per-shard registries and audit logs plus the
+// observed sharded run: per-shard registries and audit logs, the
+// per-shard span tracers grouped for deterministic merging, plus the
 // control plane's flight recorder. Every export they render (metrics
-// snapshots, audit JSONL, shard-health report, epoch JSONL, flight
-// dumps) is a pure function of the submitted stream, independent of
-// GOMAXPROCS — the same determinism contract as the run itself.
+// snapshots, audit JSONL, merged Chrome trace and timeline, EDP
+// report, shard-health report, epoch JSONL, flight dumps) is a pure
+// function of the submitted stream, independent of GOMAXPROCS — the
+// same determinism contract as the run itself.
 type ShardedObservation struct {
 	Registries []*metrics.Registry
 	Audits     []*audit.Log
+	Trace      *tracing.ShardSet
 	Flight     *flight.Recorder
 }
 
@@ -53,6 +57,8 @@ func OnlineScenarioShardedObserved(env *Env, spec scenario.Spec, nodes int, cfg 
 		obs.Audits = append(obs.Audits, aud)
 		sh.SetAudit(aud)
 	}
+	obs.Trace = tracing.NewShardSet()
+	sched.SetTracer(obs.Trace)
 	obs.Flight = flight.New(flight.Config{Shards: cfg.Shards, ShardNodes: sched.ShardNodes()})
 	sched.SetFlight(obs.Flight)
 
@@ -97,6 +103,6 @@ func OnlineScenarioShardedObserved(env *Env, spec scenario.Spec, nodes int, cfg 
 	tbl.AddRow("epochs", obs.Flight.Epochs())
 	tbl.AddRow("flight dumps", len(obs.Flight.Dumps()))
 	tbl.Notes = append(tbl.Notes,
-		"fully observed run: per-shard metrics + audit, barrier flight recorder; render shard health and dumps from the returned handles")
+		"fully observed run: per-shard metrics + audit + span tracers, barrier flight recorder; render traces, shard health, and dumps from the returned handles")
 	return tbl, data, qs, obs, nil
 }

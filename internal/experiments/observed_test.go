@@ -12,8 +12,10 @@ import (
 
 // observedExports renders every export surface of one observed run into
 // a single byte string: merged shard-labeled Prometheus, per-shard
-// metrics snapshots and audit JSONL, the shard-health report, the epoch
-// wide-event JSONL, the per-shard health rows, and the flight dumps.
+// metrics snapshots and audit JSONL, the merged Chrome trace and
+// timeline (per-shard sections + merged section), the merged EDP
+// report, the shard-health report, the epoch wide-event JSONL, the
+// per-shard health rows, and the flight dumps.
 func observedExports(t *testing.T, obs *ShardedObservation) string {
 	t.Helper()
 	var buf bytes.Buffer
@@ -31,6 +33,15 @@ func observedExports(t *testing.T, obs *ShardedObservation) string {
 		if err := obs.Audits[i].WriteJSONL(&buf); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := obs.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Trace.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Trace.Report().WriteText(&buf); err != nil {
+		t.Fatal(err)
 	}
 	if err := obs.Flight.Health().WriteText(&buf); err != nil {
 		t.Fatal(err)
@@ -69,9 +80,9 @@ func TestOnlineScenarioShardedObservedGolden(t *testing.T) {
 		if obs.Flight.Epochs() == 0 {
 			t.Fatalf("GOMAXPROCS=%d: run recorded no barrier epochs", procs)
 		}
-		if len(obs.Registries) != cfg.Shards || len(obs.Audits) != cfg.Shards {
-			t.Fatalf("GOMAXPROCS=%d: observation handles incomplete: %d regs, %d audits",
-				procs, len(obs.Registries), len(obs.Audits))
+		if len(obs.Registries) != cfg.Shards || len(obs.Audits) != cfg.Shards || obs.Trace.Shards() != cfg.Shards {
+			t.Fatalf("GOMAXPROCS=%d: observation handles incomplete: %d regs, %d audits, %d tracers",
+				procs, len(obs.Registries), len(obs.Audits), obs.Trace.Shards())
 		}
 		for _, want := range []string{"shards", "steals", "epochs", "flight dumps"} {
 			if !strings.Contains(tbl.String(), want) {
@@ -97,5 +108,12 @@ func TestOnlineScenarioShardedObservedGolden(t *testing.T) {
 	// The health report rendered with its header and per-shard rows.
 	if !strings.Contains(base, "# shard health") {
 		t.Fatal("exports missing the shard-health report")
+	}
+	// The merged trace exports rendered: per-shard timeline sections, the
+	// merged global section, and the merged EDP attribution rollup.
+	for _, want := range []string{"== shard 0 ==", "== merged ==", "# ecost merged trace timeline", "# ecost EDP attribution"} {
+		if !strings.Contains(base, want) {
+			t.Fatalf("exports missing %q", want)
+		}
 	}
 }

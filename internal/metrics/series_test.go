@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSeriesDownsamplingProperties is the property test for the
+// deterministic decimation: across sample counts spanning several
+// stride doublings, the retained trace always keeps the first point,
+// stays strictly monotone in time, stays under budget, is an exact
+// subset of the input, and never lets the tail gap grow beyond the
+// current stride (so the newest retained point tracks the end of the
+// run).
+func TestSeriesDownsamplingProperties(t *testing.T) {
+	for _, budget := range []int{4, 8, 64} {
+		for _, n := range []int{1, 3, 7, 8, 9, 63, 64, 65, 1000, 4097} {
+			t.Run(fmt.Sprintf("budget=%d/n=%d", budget, n), func(t *testing.T) {
+				s := newSeries()
+				s.budget = budget
+				for i := 0; i < n; i++ {
+					s.Sample(float64(i), float64(i))
+				}
+				pts := s.Points()
+				if len(pts) == 0 {
+					t.Fatal("no points retained")
+				}
+				if len(pts) >= budget && n >= budget {
+					t.Fatalf("retained %d points, budget %d", len(pts), budget)
+				}
+				if pts[0].At != 0 || pts[0].V != 0 {
+					t.Fatalf("first sample dropped: %+v", pts[0])
+				}
+				maxGap := 0.0
+				for i, p := range pts {
+					// Subset property: every retained point is one of the
+					// sampled (t, v) pairs, where t == v by construction.
+					if p.At != p.V || p.At != float64(int(p.At)) || p.At >= float64(n) {
+						t.Fatalf("point %d not in the input: %+v", i, p)
+					}
+					if i > 0 {
+						gap := p.At - pts[i-1].At
+						if gap <= 0 {
+							t.Fatalf("timestamps not strictly increasing at %d: %v", i, pts)
+						}
+						if gap > maxGap {
+							maxGap = gap
+						}
+					}
+				}
+				// Recency: after decimation the sampling stride equals the
+				// largest retained gap, and at most 2*stride samples can
+				// arrive without one being retained (stride skips plus one
+				// potential doubling). The tail is never older than that.
+				stride := maxGap
+				if stride < 1 {
+					stride = 1
+				}
+				if tail := float64(n-1) - pts[len(pts)-1].At; tail > 2*stride {
+					t.Fatalf("last retained point %.0f lags the end %d by %.0f > 2*stride %.0f",
+						pts[len(pts)-1].At, n-1, tail, stride)
+				}
+			})
+		}
+	}
+}
+
+// TestSeriesDeterministic: identical sample sequences retain identical
+// points — decimation has no hidden state.
+func TestSeriesDeterministic(t *testing.T) {
+	mk := func() []Point {
+		s := newSeries()
+		s.budget = 16
+		for i := 0; i < 500; i++ {
+			s.Sample(float64(i)*0.5, float64(i%7))
+		}
+		return s.Points()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("runs retained %d vs %d points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSeriesEmptyPoints: a registered series that never sampled
+// returns an empty (not nil-panicking) trace, and a nil series returns
+// nil from the whole API.
+func TestSeriesEmptyPoints(t *testing.T) {
+	r := NewRegistry()
+	se := r.Series("never.sampled")
+	if pts := se.Points(); len(pts) != 0 {
+		t.Fatalf("empty series retained %d points", len(pts))
+	}
+	// Sampling after the empty read still works.
+	se.Sample(1, 2)
+	if pts := se.Points(); len(pts) != 1 || pts[0] != (Point{At: 1, V: 2}) {
+		t.Fatalf("series after empty read: %+v", se.Points())
+	}
+	var nilSeries *Series
+	nilSeries.Sample(0, 1)
+	if pts := nilSeries.Points(); pts != nil {
+		t.Fatalf("nil series returned points: %+v", pts)
+	}
+}

@@ -34,6 +34,8 @@ type chromeEvent struct {
 	Dur  *float64       `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -48,7 +50,7 @@ type chromeDoc struct {
 // scheduler-level job view; process n+1 is node n.
 func chromeTrack(s Span) (pid, tid int) {
 	switch s.Kind {
-	case KindJob, KindWait, KindTune:
+	case KindJob, KindWait, KindTune, KindStealOut, KindStealIn:
 		return 0, s.Attrs.Job
 	case KindNode:
 		return s.Attrs.Node + 1, 0
@@ -85,10 +87,38 @@ func chromeArgs(s Span) map[string]any {
 	if a.Detail != "" {
 		args["detail"] = a.Detail
 	}
+	if a.Link > 0 {
+		args["link"] = a.Link
+	}
 	if s.Open() {
 		args["open"] = true
 	}
 	return args
+}
+
+// flowEvent returns the Chrome flow event a steal span carries: the
+// victim's steal_out starts a flow ("s") and the thief's steal_in
+// finishes it ("f", binding to the enclosing slice), joined by the
+// link id. Perfetto then draws an arrow from the victim shard's track
+// to the thief's, so a stolen job's wait→tune→run chain reads
+// continuously across shards.
+func flowEvent(s Span, pid, tid int) (chromeEvent, bool) {
+	if s.Attrs.Link <= 0 {
+		return chromeEvent{}, false
+	}
+	ev := chromeEvent{
+		Name: "steal", Cat: "steal",
+		Ts: s.Start * 1e6, Pid: pid, Tid: tid, ID: s.Attrs.Link,
+	}
+	switch s.Kind {
+	case KindStealOut:
+		ev.Ph = "s"
+	case KindStealIn:
+		ev.Ph, ev.BP = "f", "e"
+	default:
+		return chromeEvent{}, false
+	}
+	return ev, true
 }
 
 // ChromeTrace converts spans into the trace_event document.
@@ -124,6 +154,9 @@ func ChromeTrace(spans []Span) chromeDoc {
 			Tid:  tid,
 			Args: chromeArgs(s),
 		})
+		if ev, ok := flowEvent(s, pid, tid); ok {
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
 	}
 	return doc
 }
@@ -159,6 +192,9 @@ func fmtAttrs(a Attrs) string {
 	add("cfg", a.Config)
 	add("partner", a.Partner)
 	add("detail", a.Detail)
+	if a.Link > 0 {
+		add("link", strconv.Itoa(a.Link))
+	}
 	return out
 }
 

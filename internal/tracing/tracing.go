@@ -50,6 +50,13 @@ const (
 	// KindNode is one node-occupancy phase: the interval over which a
 	// node's resident set stays unchanged (named idle/solo/co-located).
 	KindNode
+	// KindStealOut marks the victim side of a cross-shard work steal:
+	// the instant a queued job leaves this shard. Paired with the
+	// thief's KindStealIn through Attrs.Link.
+	KindStealOut
+	// KindStealIn marks the thief side of a cross-shard work steal: the
+	// instant the stolen job re-queues on this shard.
+	KindStealIn
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +76,10 @@ func (k Kind) String() string {
 		return "reduce"
 	case KindNode:
 		return "node"
+	case KindStealOut:
+		return "steal_out"
+	case KindStealIn:
+		return "steal_in"
 	}
 	return "unknown"
 }
@@ -91,6 +102,11 @@ type Attrs struct {
 	Partner string
 	// Detail is a short free-form annotation.
 	Detail string
+	// Link joins the two halves of a cross-shard steal: the victim's
+	// steal_out span and the thief's steal_in span carry the same
+	// positive link id (the control plane's deterministic steal
+	// sequence number). 0 means unlinked.
+	Link int
 }
 
 // Span is one traced interval. Fields are written by the tracer under
@@ -98,8 +114,13 @@ type Attrs struct {
 // a finished span.
 type Span struct {
 	// ID is the creation-order identifier (deterministic under the
-	// single-threaded event loop).
+	// single-threaded event loop). Together with Shard it is the span's
+	// stable global identity: (shard, ID) never changes across merges.
 	ID int
+	// Shard is the owning tracer's shard index (0 for the unsharded
+	// scheduler), stamped at creation so merged exports can keep one
+	// track group per shard and sort invariant of drain order.
+	Shard int
 	// Parent is the enclosing span's ID, or -1 for a root span.
 	Parent int
 	// Kind and Name classify the span.
@@ -134,6 +155,7 @@ func (s Span) Dur() float64 {
 type Tracer struct {
 	mu    sync.Mutex
 	now   func() float64
+	shard int
 	spans []*Span
 }
 
@@ -144,6 +166,29 @@ func New(now func() float64) *Tracer {
 		now = func() float64 { return 0 }
 	}
 	return &Tracer{now: now}
+}
+
+// SetShard stamps the tracer's shard index onto every span it records
+// from now on. Call once, before any spans, when the tracer is one of a
+// sharded set (ShardSet.Attach does it for you); the default 0 is the
+// unsharded scheduler. Nil-safe.
+func (t *Tracer) SetShard(i int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.shard = i
+	t.mu.Unlock()
+}
+
+// Shard reports the tracer's shard index. Nil-safe.
+func (t *Tracer) Shard() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shard
 }
 
 // Start opens a span at the current simulated time. Nil-safe: a nil
@@ -190,6 +235,7 @@ func (t *Tracer) add(kind Kind, name string, parent *Span, start, end float64, a
 	}
 	s := &Span{
 		ID:     len(t.spans),
+		Shard:  t.shard,
 		Parent: pid,
 		Kind:   kind,
 		Name:   name,
