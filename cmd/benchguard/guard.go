@@ -50,8 +50,12 @@ type measured struct {
 // benchLineRe matches a result line. The -N GOMAXPROCS suffix is
 // stripped so names join against the baseline; B/op and allocs/op are
 // optional because -benchmem may be absent (then allocations are
-// treated as unmeasured and only ns/op is gated).
-var benchLineRe = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+\d+ B/op\s+(\d+) allocs/op)?`)
+// treated as unmeasured and only ns/op is gated). Custom ReportMetric
+// columns (e.g. the throughput benchmarks' jobs/s) land between ns/op
+// and B/op, so anything may separate them — requiring B/op to follow
+// ns/op directly would leave exactly those benchmarks' alloc gates
+// unmeasured.
+var benchLineRe = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:.*?\s\d+ B/op\s+(\d+) allocs/op)?`)
 
 func parseBenchOutput(r io.Reader) (map[string]measured, error) {
 	got := map[string]measured{}

@@ -12,6 +12,7 @@ pkg: ecost/internal/metrics
 BenchmarkDisabledCounter   	1000000000	         0.3945 ns/op	       0 B/op	       0 allocs/op
 BenchmarkDisabledHistogram-4 	1000000000	         0.3912 ns/op	       0 B/op	       0 allocs/op
 BenchmarkNoMem             	  500000	      2100 ns/op
+BenchmarkOnlineShardedCluster-4   	       3	 150055457 ns/op	    266568 jobs/s	71938504 B/op	   60460 allocs/op
 PASS
 ok  	ecost/internal/metrics	0.878s
 `
@@ -21,8 +22,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
 	}
 	if m := got["BenchmarkDisabledCounter"]; m.NsOp != 0.3945 || m.AllocsOp != 0 {
 		t.Errorf("DisabledCounter = %+v", m)
@@ -34,6 +35,11 @@ func TestParseBenchOutput(t *testing.T) {
 	// Without -benchmem, allocations are unmeasured (-1), not zero.
 	if m := got["BenchmarkNoMem"]; m.NsOp != 2100 || m.AllocsOp != -1 {
 		t.Errorf("NoMem = %+v", m)
+	}
+	// A ReportMetric column (jobs/s) between ns/op and B/op must not
+	// disarm the alloc gate.
+	if m := got["BenchmarkOnlineShardedCluster"]; m.NsOp != 150055457 || m.AllocsOp != 60460 {
+		t.Errorf("OnlineShardedCluster = %+v, want allocs parsed through the jobs/s column", m)
 	}
 }
 
@@ -145,6 +151,9 @@ func TestGuardedBaselineFile(t *testing.T) {
 		"BenchmarkDisabledOccupancyRoll",
 		"BenchmarkAccrueEnergyTraced",
 		"BenchmarkOnlineLargeCluster",
+		"BenchmarkOnlineShardedCluster",
+		"BenchmarkBarrierElision",
+		"BenchmarkScenarioGen",
 	} {
 		if !guarded[want] {
 			t.Errorf("BENCH_PERF.json does not guard %s", want)

@@ -124,7 +124,10 @@ func runOnlineSharded(env *experiments.Env, nodes, shards int, steal bool, arriv
 	}
 	fmt.Println(header)
 	fmt.Printf("  makespan %.0f s, energy %.0f J, EDP %.4g J·s\n", makespan, energy, energy*makespan)
-	fmt.Printf("  %d shard(s), %d steal(s)\n\n", sched.Shards(), sched.Steals())
+	fmt.Printf("  %d shard(s), %d steal(s)\n", sched.Shards(), sched.Steals())
+	bs := sched.BarrierStats()
+	fmt.Printf("  %d exact barrier(s), %d free window(s), %d event(s) elided (%.1f%%)\n\n",
+		bs.Barriers, bs.Windows, bs.WindowEvents, 100*bs.ElidedRatio())
 	done := sched.Completed()
 	if !perJobTable {
 		fmt.Printf("%d jobs completed\n", len(done))

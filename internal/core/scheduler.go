@@ -10,6 +10,7 @@ import (
 	"ecost/internal/flight"
 	"ecost/internal/mapreduce"
 	"ecost/internal/metrics"
+	"ecost/internal/perfctr"
 	"ecost/internal/power"
 	"ecost/internal/sim"
 	"ecost/internal/tracing"
@@ -110,6 +111,77 @@ type OnlineScheduler struct {
 	// accumulate here until the control plane drains them at the next
 	// barrier.
 	fl *flight.Collector
+
+	// arrQ is the pending-arrival ring SubmitObserved fills: instead of
+	// one closure + one engine event per submission, the scheduler keeps
+	// a single in-flight head event (arrFire) that batch-drains every
+	// arrival sharing its timestamp and then re-arms itself at the next
+	// arrival time. arrHead indexes the first undelivered entry. The
+	// ring keeps shard event heaps shallow — a 200k-job stream holds one
+	// pending arrival event instead of 12.5k per shard.
+	arrQ    []pendingArrival
+	arrHead int
+	arrFire func()
+
+	// classMemo caches Classify verdicts by feature vector. Classify is
+	// a pure function of Observation.Reduced() — KNN against a fixed
+	// training set — so a hit is bit-identical to a fresh call while
+	// recurring tenants (identical memoized observations under the
+	// sharded router's ProfileMemo) skip the KNN distance scan and its
+	// allocations entirely. Nil when disabled; see SetClassMemo.
+	classMemo map[perfctr.Vector]workloads.Class
+
+	// jobPool / ojPool recycle Job and onlineJob records: both become
+	// unreachable at completion (CompletedJob copies every exported
+	// field; spans, audit rows, and metrics hold ids and strings, never
+	// the pointers), so the completion path returns them here and
+	// arrive/place reuse them. A stolen job's pointer migrates with it
+	// and retires into the thief's pool.
+	jobPool []*Job
+	ojPool  []*onlineJob
+}
+
+// pendingArrival is one undelivered SubmitObserved entry in the ring.
+type pendingArrival struct {
+	id  int
+	at  float64
+	obs Observation
+}
+
+// classMemoCap bounds the classify memo; at the cap it clears wholesale
+// (same policy as the steady memo: recurring tenants repopulate the hot
+// entries immediately).
+const classMemoCap = 8192
+
+// SetClassMemo toggles the Classify memo. A hit is bit-identical to
+// calling the classifier (Classify is pure), so this is safe under every
+// golden; it pays off when observations recur exactly — the sharded
+// control plane enables it on every shard, where ProfileMemo makes
+// recurring tenants' feature vectors identical. Call before the first
+// Submit.
+func (s *OnlineScheduler) SetClassMemo(v bool) {
+	if v {
+		s.classMemo = make(map[perfctr.Vector]workloads.Class)
+	} else {
+		s.classMemo = nil
+	}
+}
+
+// classify returns the behaviour class for obs, through the memo when
+// one is attached.
+func (s *OnlineScheduler) classify(obs Observation) workloads.Class {
+	if s.classMemo == nil {
+		return s.DB.Classifier().Classify(obs)
+	}
+	if c, ok := s.classMemo[obs.Features]; ok {
+		return c
+	}
+	c := s.DB.Classifier().Classify(obs)
+	if len(s.classMemo) >= classMemoCap {
+		clear(s.classMemo)
+	}
+	s.classMemo[obs.Features] = c
+	return c
 }
 
 // jobSpans tracks one in-flight job's open spans plus the model's
@@ -375,11 +447,21 @@ type onlineNode struct {
 	// instead of re-solving the execution model per node per event.
 	watts float64
 
-	// rates is the reusable progress-rate buffer the completion closure
+	// rates is the reusable progress-rate buffer the completion path
 	// reads: a cancelled event never fires and a live event is always
 	// cancelled before the next reschedule refills the buffer, so the
 	// backing array is never read after being overwritten.
 	rates []float64
+
+	// fire is the node's persistent completion callback (built once at
+	// construction); evDT and evFinisher carry the pending event's
+	// elapsed interval and predicted finisher, refreshed by every
+	// reschedule under the same cancel-before-refill discipline as
+	// rates. Together they replace a fresh closure allocation per
+	// completion event.
+	fire       func()
+	evDT       float64
+	evFinisher *onlineJob
 
 	// accWatts/accPhase are the contribution this node currently makes
 	// to the scheduler's phaseWatts sums under fast accrual: the watts
@@ -416,7 +498,9 @@ func NewOnlineScheduler(eng *sim.Engine, model *mapreduce.Model, db *Database, t
 	s.freeSet = newNodeSet(nodes)
 	s.halfSet = newNodeSet(nodes)
 	for i := 0; i < nodes; i++ {
-		s.nodes = append(s.nodes, &onlineNode{id: i, watts: s.idleWatts})
+		n := &onlineNode{id: i, watts: s.idleWatts}
+		n.fire = func() { s.nodeComplete(n) }
+		s.nodes = append(s.nodes, n)
 		s.freeSet.set(i, true)
 	}
 	s.freeCnt = nodes
@@ -544,11 +628,46 @@ func (s *OnlineScheduler) Submit(app workloads.App, sizeGB, at float64) {
 // submission order, so the sampler's draw sequence matches the legacy
 // in-event profiling for nondecreasing arrival times) and hands each
 // shard a ready Observation plus a router-assigned cluster-global job
-// id. Do not mix with Submit on the same scheduler: Submit owns the
-// internal id counter.
+// id. Submissions must be in nondecreasing time order (the router
+// enforces this). Do not mix with Submit on the same scheduler: Submit
+// owns the internal id counter.
+//
+// Arrivals land in the ring, not the event heap: one AtHead event per
+// scheduler delivers the ring head, batch-draining everything sharing
+// its timestamp in submission order and re-arming at the next arrival
+// time. The AtHead priority reproduces the legacy ordering exactly —
+// per-job events scheduled before the run always outranked
+// runtime-scheduled completions at equal timestamps via their lower
+// seq, and the ring's head event must too.
 func (s *OnlineScheduler) SubmitObserved(id int, obs Observation, at float64) {
 	s.pending++
-	s.Engine.At(at, func() { s.arrive(id, obs, at) })
+	if s.arrFire == nil {
+		s.arrFire = s.fireArrivals
+	}
+	s.arrQ = append(s.arrQ, pendingArrival{id: id, at: at, obs: obs})
+	if len(s.arrQ)-s.arrHead == 1 {
+		s.Engine.AtHead(at, s.arrFire)
+	}
+}
+
+// fireArrivals delivers every ring entry at the current clock (arrive's
+// per-job work — classify, queue, dispatch — runs in submission order,
+// exactly the sequence back-to-back per-job events produced), then
+// re-arms the head event at the next pending arrival time.
+func (s *OnlineScheduler) fireArrivals() {
+	now := s.Engine.Now()
+	for s.arrHead < len(s.arrQ) && s.arrQ[s.arrHead].at <= now {
+		p := s.arrQ[s.arrHead]
+		s.arrQ[s.arrHead] = pendingArrival{}
+		s.arrHead++
+		s.arrive(p.id, p.obs, p.at)
+	}
+	if s.arrHead < len(s.arrQ) {
+		s.Engine.AtHead(s.arrQ[s.arrHead].at, s.arrFire)
+	} else {
+		s.arrQ = s.arrQ[:0]
+		s.arrHead = 0
+	}
 }
 
 // arrive is the in-event half of submission: classify, queue, record,
@@ -556,10 +675,18 @@ func (s *OnlineScheduler) SubmitObserved(id int, obs Observation, at float64) {
 // the requested size exactly).
 func (s *OnlineScheduler) arrive(id int, obs Observation, at float64) {
 	app, sizeGB := obs.App, obs.SizeGB
-	j := &Job{
+	var j *Job
+	if k := len(s.jobPool); k > 0 {
+		j = s.jobPool[k-1]
+		s.jobPool[k-1] = nil
+		s.jobPool = s.jobPool[:k-1]
+	} else {
+		j = new(Job)
+	}
+	*j = Job{
 		ID:      id,
 		Obs:     obs,
-		Class:   s.DB.Classifier().Classify(obs),
+		Class:   s.classify(obs),
 		EstTime: sizeGB,
 		Arrived: at,
 	}
@@ -991,7 +1118,16 @@ func (s *OnlineScheduler) place(n *onlineNode, j *Job, branch audit.Branch, leap
 			s.aud.Paired(partner.job.ID, j.ID, s.gid(n), now, branch, pred)
 		}
 	}
-	n.residents = append(n.residents, &onlineJob{job: j, cfg: cfg, rem: 1, started: now})
+	var oj *onlineJob
+	if k := len(s.ojPool); k > 0 {
+		oj = s.ojPool[k-1]
+		s.ojPool[k-1] = nil
+		s.ojPool = s.ojPool[:k-1]
+	} else {
+		oj = new(onlineJob)
+	}
+	*oj = onlineJob{job: j, cfg: cfg, rem: 1, started: now}
+	n.residents = append(n.residents, oj)
 	s.occupancyChanged(n)
 	if s.tracer != nil {
 		js := s.traced[j.ID]
@@ -1203,73 +1339,89 @@ func (s *OnlineScheduler) reschedule(n *onlineNode) {
 	for i := range n.residents {
 		rates[i] = 1 / sts[i].JobTime
 	}
-	finisher := n.residents[next]
-	n.event = s.Engine.After(nextDT, func() {
-		s.accrueEnergy()
-		for i, r := range n.residents {
-			r.rem -= nextDT * rates[i]
-			if r.rem < 0 {
-				r.rem = 0
-			}
+	n.evDT = nextDT
+	n.evFinisher = n.residents[next]
+	n.event = s.Engine.After(nextDT, n.fire)
+}
+
+// nodeComplete is the node's completion event: advance every resident's
+// remaining fraction by the elapsed interval's progress rates, retire
+// the finisher, and refill the node. It reads the reschedule-maintained
+// n.evDT / n.evFinisher / n.rates instead of closure captures.
+func (s *OnlineScheduler) nodeComplete(n *onlineNode) {
+	nextDT := n.evDT
+	finisher := n.evFinisher
+	rates := n.rates[:len(n.residents)]
+	s.accrueEnergy()
+	for i, r := range n.residents {
+		r.rem -= nextDT * rates[i]
+		if r.rem < 0 {
+			r.rem = 0
 		}
-		// Remove the finisher.
-		for i, r := range n.residents {
-			if r == finisher {
-				n.residents = append(n.residents[:i], n.residents[i+1:]...)
-				break
-			}
+	}
+	// Remove the finisher.
+	for i, r := range n.residents {
+		if r == finisher {
+			n.residents = append(n.residents[:i], n.residents[i+1:]...)
+			break
 		}
-		s.occupancyChanged(n)
-		s.pending--
-		s.completed = append(s.completed, CompletedJob{
-			ID:        finisher.job.ID,
-			App:       finisher.job.Obs.App.Name,
-			Class:     finisher.job.Class,
-			SizeGB:    finisher.job.Obs.SizeGB,
-			Submitted: finisher.job.Arrived,
-			Started:   finisher.started,
-			Finished:  s.Engine.Now(),
-			Node:      s.gid(n),
-			Cfg:       finisher.cfg,
-		})
-		if s.met != nil {
-			now := s.Engine.Now()
-			s.met.completed.Inc()
-			s.met.turnaround.Observe(now - finisher.job.Arrived)
-			s.met.reg.Emit(metrics.Event{
-				At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: s.gid(n),
-				Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
-			})
-		}
-		if s.aud != nil {
-			now := s.Engine.Now()
-			joins, alerts := s.aud.Complete(finisher.job.ID, now)
-			if s.fl != nil {
-				for _, jn := range joins {
-					s.fl.Join(jn.RelErrPct)
-				}
-				for _, a := range alerts {
-					tenant := finisher.job.Obs.App.Name + ":" + finisher.job.Class.String()
-					s.fl.Drift(finisher.job.ID, tenant, a.Stat)
-				}
-			}
-			if s.met != nil {
-				for _, jn := range joins {
-					s.met.relErrFor(jn.Class).Observe(jn.RelErrPct)
-				}
-				for _, a := range alerts {
-					s.met.driftAlerts.Inc()
-					s.met.driftAlert.Set(1)
-					s.met.reg.Emit(metrics.Event{
-						At: now, Kind: metrics.EvDrift, Job: finisher.job.ID, Node: s.gid(n),
-						Detail: fmt.Sprintf("cusum stat=%.1f mean=%.1f%% sample=%d", a.Stat, a.Mean, a.Sample),
-					})
-				}
-			}
-		}
-		s.traceComplete(n, finisher)
-		n.event = nil
-		s.reschedule(n)
-		s.dispatch()
+	}
+	s.occupancyChanged(n)
+	s.pending--
+	s.completed = append(s.completed, CompletedJob{
+		ID:        finisher.job.ID,
+		App:       finisher.job.Obs.App.Name,
+		Class:     finisher.job.Class,
+		SizeGB:    finisher.job.Obs.SizeGB,
+		Submitted: finisher.job.Arrived,
+		Started:   finisher.started,
+		Finished:  s.Engine.Now(),
+		Node:      s.gid(n),
+		Cfg:       finisher.cfg,
 	})
+	if s.met != nil {
+		now := s.Engine.Now()
+		s.met.completed.Inc()
+		s.met.turnaround.Observe(now - finisher.job.Arrived)
+		s.met.reg.Emit(metrics.Event{
+			At: now, Kind: metrics.EvComplete, Job: finisher.job.ID, Node: s.gid(n),
+			Detail: fmt.Sprintf("%s class=%s", finisher.job.Obs.App.Name, finisher.job.Class),
+		})
+	}
+	if s.aud != nil {
+		now := s.Engine.Now()
+		joins, alerts := s.aud.Complete(finisher.job.ID, now)
+		if s.fl != nil {
+			for _, jn := range joins {
+				s.fl.Join(jn.RelErrPct)
+			}
+			for _, a := range alerts {
+				tenant := finisher.job.Obs.App.Name + ":" + finisher.job.Class.String()
+				s.fl.Drift(finisher.job.ID, tenant, a.Stat)
+			}
+		}
+		if s.met != nil {
+			for _, jn := range joins {
+				s.met.relErrFor(jn.Class).Observe(jn.RelErrPct)
+			}
+			for _, a := range alerts {
+				s.met.driftAlerts.Inc()
+				s.met.driftAlert.Set(1)
+				s.met.reg.Emit(metrics.Event{
+					At: now, Kind: metrics.EvDrift, Job: finisher.job.ID, Node: s.gid(n),
+					Detail: fmt.Sprintf("cusum stat=%.1f mean=%.1f%% sample=%d", a.Stat, a.Mean, a.Sample),
+				})
+			}
+		}
+	}
+	s.traceComplete(n, finisher)
+	// The finisher and its job are unreachable now — every export above
+	// copied what it needed — so both records go back to the pools.
+	n.evFinisher = nil
+	s.jobPool = append(s.jobPool, finisher.job)
+	*finisher = onlineJob{}
+	s.ojPool = append(s.ojPool, finisher)
+	n.event = nil
+	s.reschedule(n)
+	s.dispatch()
 }

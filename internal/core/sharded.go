@@ -4,18 +4,27 @@ package core
 // per-shard OnlineSchedulers — each owning its own node slice, engine,
 // wait-queue index, and tune-cache shard — with submissions routed by a
 // deterministic app/tenant hash and a bounded work-stealing pass at
-// event-loop barriers. Shards advance in lock-step epochs between
-// global event timestamps (the PR 2 deterministic-merge worker-pool
-// pattern applied to the online loop), so every export — metrics
-// snapshots, timelines, decision logs, completions, energy — is a pure
-// function of the submitted stream at any GOMAXPROCS, and steals fire
-// at deterministic sim times rather than goroutine-timing-dependent
-// moments.
+// event-loop barriers. Every export — metrics snapshots, timelines,
+// decision logs, completions, energy — is a pure function of the
+// submitted stream at any GOMAXPROCS, and steals fire at deterministic
+// sim times rather than goroutine-timing-dependent moments.
+//
+// Barriers are elided wherever cross-shard interaction is provably
+// impossible (DESIGN.md §17). The steal pass is the only cross-shard
+// interaction, and a queue can only grow at an arrival event — every
+// arrival is submitted before Run, so the arrival timeline is fully
+// known. Whenever all wait queues are empty, no steal can fire at any
+// barrier before the next arrival, and every shard free-runs through
+// that window fully in parallel; with stealing off (or one shard) the
+// whole run is one window. The exact lock-step cadence is retained as
+// the reference path (SetFullBarriers) and engages automatically when a
+// flight recorder is attached, because epoch records sample every shard
+// at every global event time.
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -66,6 +75,36 @@ type ShardedScheduler struct {
 	lastAt float64
 	steals int
 
+	// arrTimes records every submitted arrival time in order (Submit
+	// enforces nondecreasing); arrCursor trails the run, pointing at the
+	// first arrival not yet fired. Together they give the elision loop
+	// the next instant a wait queue could possibly grow — the horizon a
+	// barrier-free window may run to.
+	arrTimes  []float64
+	arrCursor int
+
+	// fullBarriers forces the exact lock-step reference cadence (one
+	// barrier per global event timestamp); see SetFullBarriers. stats
+	// counts barriers executed vs elided.
+	fullBarriers bool
+	stats        BarrierStats
+
+	// workers are the persistent per-shard drain goroutines (started by
+	// Run, stopped on return; nil when S==1): each barrier or window
+	// signals the active shards over their channels instead of spawning
+	// a goroutine + WaitGroup per epoch. panics holds the first panic
+	// each shard's drain raised, re-raised in shard order at the next
+	// join. active is the reusable active-shard scratch buffer. serial
+	// is latched by Run when only one proc is available — the shards
+	// then drain inline in shard order (identical results: they share no
+	// mutable state) instead of paying channel handoffs that cannot
+	// overlap.
+	workers []chan shardCmd
+	wwg     sync.WaitGroup
+	panics  []any
+	active  []int
+	serial  bool
+
 	// flight is the barrier-epoch flight recorder (nil = off; see
 	// SetFlight). flightT0 is the previous barrier time (each epoch
 	// record spans [flightT0, t]); statBuf is the reusable per-barrier
@@ -73,6 +112,36 @@ type ShardedScheduler struct {
 	flight   *flight.Recorder
 	flightT0 float64
 	statBuf  []flight.ShardStat
+}
+
+// shardCmd tells a shard worker how far to drain its engine: through
+// horizon inclusive (a barrier epoch) or strictly before it (a
+// free-running window, whose horizon is the next arrival time).
+type shardCmd struct {
+	horizon float64
+	excl    bool
+}
+
+// BarrierStats counts how the run's event work was driven. Barriers is
+// the number of exact lock-step barrier iterations (each with a steal
+// pass); Windows is the number of barrier-free free-running spans;
+// WindowEvents is how many events fired inside those spans — each would
+// have cost roughly one global barrier under the lock-step cadence, so
+// it measures the barriers elided.
+type BarrierStats struct {
+	Barriers     int64
+	Windows      int64
+	WindowEvents int64
+}
+
+// ElidedRatio is the fraction of event work that ran barrier-free:
+// WindowEvents / (WindowEvents + Barriers). Zero on an empty run.
+func (b BarrierStats) ElidedRatio() float64 {
+	tot := b.Barriers + b.WindowEvents
+	if tot == 0 {
+		return 0
+	}
+	return float64(b.WindowEvents) / float64(tot)
 }
 
 type profileKey struct {
@@ -84,11 +153,15 @@ type profileKey struct {
 // over the name, mod S. The hash is stable across processes and
 // platforms, so a recurring tenant always lands on the same shard —
 // which is what lets the per-shard tune caches and wait-queue indexes
-// stay hot for its recurring profile.
+// stay hot for its recurring profile. Inlined rather than hash/fnv so
+// the per-submission route costs no hasher or byte-slice allocation
+// (TestRouteShardMatchesFNV pins it to the library hash).
 func routeShard(name string, shards int) int {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(shards))
+	h := uint32(2166136261) // FNV-1a 32-bit offset basis
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619 // FNV 32-bit prime
+	}
+	return int(h % uint32(shards))
 }
 
 // NewShardedScheduler partitions `nodes` across cfg.Shards schedulers
@@ -135,6 +208,11 @@ func NewShardedScheduler(model *mapreduce.Model, db *Database, prof *Profiler, n
 		// by the single-shard equivalence golden) and recurring tenants
 		// concentrate per shard by construction, so every shard gets it.
 		sh.SetSteadyMemo(true)
+		// Classify is pure, so its memo is bit-identical too — and the
+		// shard never hands out *sim.Event pointers beyond the per-node
+		// completion handle it nils on fire, so event recycling is safe.
+		sh.SetClassMemo(true)
+		sh.Engine.SetRecycle(true)
 		base += n
 		c.shards = append(c.shards, sh)
 	}
@@ -252,6 +330,7 @@ func (c *ShardedScheduler) Submit(app workloads.App, sizeGB, at float64) {
 	}
 	id := c.nextID
 	c.nextID++
+	c.arrTimes = append(c.arrTimes, at)
 	c.shards[routeShard(app.Name, len(c.shards))].SubmitObserved(id, obs, at)
 }
 
@@ -270,15 +349,36 @@ func (c *ShardedScheduler) profile(app workloads.App, sizeGB float64) (Observati
 	return obs, err
 }
 
-// Run drives all shards to completion in lock-step epochs and returns
-// the global makespan and summed energy. Each epoch: (1) the barrier is
-// the minimum next-event time across shards, (2) every shard with work
-// at the barrier drains its events through it — in parallel when more
-// than one shard is active, which cannot change any result because
-// shards share no mutable state — and (3) with stealing enabled, a
-// single-threaded deterministic steal pass runs at the barrier. After
-// the last event every shard is advanced to the global makespan and
-// closed out, so trailing idle energy is billed exactly as the
+// SetFullBarriers forces the exact lock-step reference cadence: one
+// global barrier per distinct event timestamp, a steal pass at each,
+// never a free-running window. Elision is proven byte-identical to this
+// path (TestShardedElisionMatchesFullBarriers diffs every export), so
+// it exists as the reference for those goldens — and it is what a
+// flight recorder implicitly selects, since epoch records sample every
+// shard at every barrier. Call before Run.
+func (c *ShardedScheduler) SetFullBarriers(v bool) { c.fullBarriers = v }
+
+// BarrierStats reports how the last Run drove the shards: exact
+// barriers executed vs events fired inside free-running windows.
+func (c *ShardedScheduler) BarrierStats() BarrierStats { return c.stats }
+
+// Run drives all shards to completion and returns the global makespan
+// and summed energy. Three drive modes, all byte-identical (§17):
+//
+//   - full barriers (flight recorder attached, or SetFullBarriers):
+//     lock-step epochs at every global min next-event time, a
+//     deterministic steal pass at each — the reference cadence.
+//   - steal off: shards share no mutable state at all, so every shard
+//     free-runs to completion fully in parallel and the exports merge
+//     deterministically afterwards.
+//   - steal on: free-running windows between barriers. Queues grow only
+//     at arrival events, so while every wait queue is empty no
+//     thief/victim pairing can exist before the next arrival time and
+//     all shards drain strictly past it in parallel; the moment a queue
+//     is non-empty the loop falls back to exact barrier cadence.
+//
+// After the last event every shard is advanced to the global makespan
+// and closed out, so trailing idle energy is billed exactly as the
 // unsharded scheduler bills it.
 func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
 	defer func() {
@@ -286,30 +386,15 @@ func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
 			err = fmt.Errorf("core: sharded scheduler: %v", r)
 		}
 	}()
-	active := make([]*OnlineScheduler, 0, len(c.shards))
-	for {
-		t := math.Inf(1)
-		for _, sh := range c.shards {
-			if at, ok := sh.Engine.NextAt(); ok && at < t {
-				t = at
-			}
-		}
-		if math.IsInf(t, 1) {
-			break
-		}
-		active = active[:0]
-		for _, sh := range c.shards {
-			if at, ok := sh.Engine.NextAt(); ok && at <= t {
-				active = append(active, sh)
-			}
-		}
-		c.runEpoch(active, t)
-		if c.cfg.Steal {
-			c.stealPass(t)
-		}
-		if c.flight != nil {
-			c.recordBarrier(t)
-		}
+	c.startWorkers()
+	defer c.stopWorkers()
+	switch {
+	case c.fullBarriers || c.flight != nil:
+		c.runBarriers()
+	case !c.cfg.Steal:
+		c.runFree()
+	default:
+		c.runElided()
 	}
 	pending := 0
 	for _, sh := range c.shards {
@@ -340,34 +425,207 @@ func (c *ShardedScheduler) Run() (makespan, energyJ float64, err error) {
 	return end, energy, nil
 }
 
-// runEpoch drains every active shard through the barrier. One active
-// shard (the overwhelmingly common case — barriers sit at every
-// distinct global event timestamp) runs inline with zero goroutines;
-// timestamp collisions fan out across a transient worker group, with
-// panics captured and re-raised in shard order so Run's recover turns
-// the first failure into the same error a serial pass would surface.
-func (c *ShardedScheduler) runEpoch(active []*OnlineScheduler, t float64) {
-	if len(active) == 1 {
-		active[0].Engine.RunThrough(t)
+// runBarriers is the exact lock-step reference loop: one barrier per
+// global event timestamp, each followed by the steal pass and, when a
+// recorder is attached, a flight epoch.
+func (c *ShardedScheduler) runBarriers() {
+	for {
+		t := c.nextBarrier()
+		if math.IsInf(t, 1) {
+			return
+		}
+		c.gatherActive(t, false)
+		c.stats.Barriers++
+		c.runSpan(shardCmd{horizon: t})
+		if c.cfg.Steal {
+			c.stealPass(t)
+		}
+		if c.flight != nil {
+			c.recordBarrier(t)
+		}
+	}
+}
+
+// runFree drives a steal-free run: no cross-shard interaction exists,
+// so the whole run is one free-running window with every shard drained
+// to completion in parallel.
+func (c *ShardedScheduler) runFree() {
+	c.gatherActive(math.Inf(1), true)
+	if len(c.active) == 0 {
 		return
 	}
-	panics := make([]any, len(active))
-	var wg sync.WaitGroup
-	for i := 1; i < len(active); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { panics[i] = recover() }()
-			active[i].Engine.RunThrough(t)
-		}(i)
+	fired := c.totalFired()
+	c.stats.Windows++
+	c.runSpan(shardCmd{horizon: math.Inf(1), excl: true})
+	c.stats.WindowEvents += c.totalFired() - fired
+}
+
+// runElided drives a steal-on run with barrier elision. The
+// steal-eligibility invariant: a wait queue grows only at an arrival
+// event (WaitQueue.Push is reached from arrive and acceptStolen alone),
+// and every arrival time is known before Run. So when all queues are
+// empty at the global next-event time t, the reference steal pass is a
+// no-op at every barrier in [t, nextArrival) — there is no victim to
+// steal from, which is precisely the reference pass's own early-out —
+// and all shards can free-run through events strictly before
+// nextArrival with no barrier at all. Otherwise one exact barrier (with
+// its steal pass) runs at t, and the loop re-evaluates.
+func (c *ShardedScheduler) runElided() {
+	for {
+		t := c.nextBarrier()
+		if math.IsInf(t, 1) {
+			return
+		}
+		if !c.anyQueued() {
+			// Every arrival strictly before t has fired: each shard's
+			// earliest unfired arrival keeps a pending event at its
+			// time, so the global min next-event time t bounds it.
+			for c.arrCursor < len(c.arrTimes) && c.arrTimes[c.arrCursor] < t {
+				c.arrCursor++
+			}
+			horizon := math.Inf(1)
+			if c.arrCursor < len(c.arrTimes) {
+				horizon = c.arrTimes[c.arrCursor]
+			}
+			if horizon > t {
+				c.gatherActive(horizon, true)
+				fired := c.totalFired()
+				c.stats.Windows++
+				c.runSpan(shardCmd{horizon: horizon, excl: true})
+				c.stats.WindowEvents += c.totalFired() - fired
+				continue
+			}
+			// The next event is itself an arrival: barrier at t.
+		}
+		c.gatherActive(t, false)
+		c.stats.Barriers++
+		c.runSpan(shardCmd{horizon: t})
+		c.stealPass(t)
 	}
-	func() {
-		defer func() { panics[0] = recover() }()
-		active[0].Engine.RunThrough(t)
+}
+
+// nextBarrier returns the minimum next-event time across shards (+Inf
+// when every engine is drained).
+func (c *ShardedScheduler) nextBarrier() float64 {
+	t := math.Inf(1)
+	for _, sh := range c.shards {
+		if at, ok := sh.Engine.NextAt(); ok && at < t {
+			t = at
+		}
+	}
+	return t
+}
+
+// gatherActive fills c.active with the shards holding an event at the
+// barrier (excl false: NextAt <= horizon) or inside the window (excl
+// true: NextAt < horizon).
+func (c *ShardedScheduler) gatherActive(horizon float64, excl bool) {
+	c.active = c.active[:0]
+	for i, sh := range c.shards {
+		if at, ok := sh.Engine.NextAt(); ok && (at < horizon || (!excl && at == horizon)) {
+			c.active = append(c.active, i)
+		}
+	}
+}
+
+// anyQueued reports whether any shard has queued work — the
+// steal-eligibility read, O(1) per shard off the wait-queue counters.
+func (c *ShardedScheduler) anyQueued() bool {
+	for _, sh := range c.shards {
+		if sh.QueueLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// totalFired sums shard event counts (window accounting).
+func (c *ShardedScheduler) totalFired() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.Engine.Fired()
+	}
+	return n
+}
+
+// startWorkers spawns one persistent drain goroutine per shard (none
+// for a single shard — it always runs inline). Workers replace the
+// per-epoch goroutine + WaitGroup churn: each barrier or window signals
+// only the active shards over their channels.
+func (c *ShardedScheduler) startWorkers() {
+	c.serial = runtime.GOMAXPROCS(0) == 1
+	if len(c.shards) == 1 || c.serial || c.workers != nil {
+		return
+	}
+	c.panics = make([]any, len(c.shards))
+	c.workers = make([]chan shardCmd, len(c.shards))
+	for i := range c.shards {
+		ch := make(chan shardCmd, 1)
+		c.workers[i] = ch
+		go func(i int, ch chan shardCmd) {
+			for cmd := range ch {
+				c.runShard(i, cmd)
+				c.wwg.Done()
+			}
+		}(i, ch)
+	}
+}
+
+// stopWorkers retires the drain goroutines (Run's defer).
+func (c *ShardedScheduler) stopWorkers() {
+	for _, ch := range c.workers {
+		close(ch)
+	}
+	c.workers = nil
+}
+
+// runShard drains shard i per cmd, capturing a panic for the joining
+// barrier to re-raise in shard order.
+func (c *ShardedScheduler) runShard(i int, cmd shardCmd) {
+	defer func() {
+		if p := recover(); p != nil && c.panics[i] == nil {
+			c.panics[i] = p
+		}
 	}()
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
+	eng := c.shards[i].Engine
+	if cmd.excl {
+		eng.RunBefore(cmd.horizon)
+	} else {
+		eng.RunThrough(cmd.horizon)
+	}
+}
+
+// runSpan drains every shard in c.active per cmd. One active shard (the
+// overwhelmingly common barrier case) runs inline with zero goroutines
+// and zero channel traffic; otherwise the first active shard runs
+// inline while the rest are signaled to their workers, and panics are
+// re-raised in shard order so Run's recover surfaces the same error a
+// serial pass would.
+func (c *ShardedScheduler) runSpan(cmd shardCmd) {
+	active := c.active
+	if len(active) == 0 {
+		return
+	}
+	if len(active) == 1 || c.serial {
+		for _, i := range active {
+			sh := c.shards[i]
+			if cmd.excl {
+				sh.Engine.RunBefore(cmd.horizon)
+			} else {
+				sh.Engine.RunThrough(cmd.horizon)
+			}
+		}
+		return
+	}
+	c.wwg.Add(len(active) - 1)
+	for _, i := range active[1:] {
+		c.workers[i] <- cmd
+	}
+	c.runShard(active[0], cmd)
+	c.wwg.Wait()
+	for _, i := range active {
+		if p := c.panics[i]; p != nil {
+			c.panics[i] = nil
 			panic(p)
 		}
 	}
@@ -436,20 +694,62 @@ func (c *ShardedScheduler) stealPass(t float64) {
 // deterministic where the single-shard sort tolerated ambiguity. With
 // one shard it defers to that shard's own ordering for exact legacy
 // equivalence.
+//
+// Each shard appends completions at its own completion events, so the
+// per-shard slices are already in nondecreasing finish order and a
+// linear S-way merge replaces the global sort (which burned ~15% of the
+// sharded bench in comparator closures and 120-byte struct swaps). The
+// rare shard whose same-instant completions landed out of id order
+// falls back to the sort; both paths produce the identical unique
+// (Finished, ID) total order.
 func (c *ShardedScheduler) Completed() []CompletedJob {
 	if len(c.shards) == 1 {
 		return c.shards[0].Completed()
 	}
-	var out []CompletedJob
+	total := 0
+	sorted := true
 	for _, sh := range c.shards {
-		out = append(out, sh.completed...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Finished != out[j].Finished {
-			return out[i].Finished < out[j].Finished
+		total += len(sh.completed)
+		for i := 1; sorted && i < len(sh.completed); i++ {
+			a, b := &sh.completed[i-1], &sh.completed[i]
+			if a.Finished > b.Finished || (a.Finished == b.Finished && a.ID > b.ID) {
+				sorted = false
+			}
 		}
-		return out[i].ID < out[j].ID
-	})
+	}
+	out := make([]CompletedJob, 0, total)
+	if !sorted {
+		for _, sh := range c.shards {
+			out = append(out, sh.completed...)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Finished != out[j].Finished {
+				return out[i].Finished < out[j].Finished
+			}
+			return out[i].ID < out[j].ID
+		})
+		return out
+	}
+	idx := make([]int, len(c.shards))
+	for len(out) < total {
+		best := -1
+		for si := range c.shards {
+			i := idx[si]
+			if i >= len(c.shards[si].completed) {
+				continue
+			}
+			if best < 0 {
+				best = si
+				continue
+			}
+			a, b := &c.shards[si].completed[i], &c.shards[best].completed[idx[best]]
+			if a.Finished < b.Finished || (a.Finished == b.Finished && a.ID < b.ID) {
+				best = si
+			}
+		}
+		out = append(out, c.shards[best].completed[idx[best]])
+		idx[best]++
+	}
 	return out
 }
 

@@ -14,8 +14,9 @@ import (
 var shardsFlag = flag.Int("ecost.shards", 0,
 	"shard count for the sharded online benchmark (0 = size default)")
 
-// benchSharded drives one sharded run and returns completions.
-func benchSharded(b *testing.B, nodes, jobs, shards int, mean float64) int {
+// benchSharded drives one sharded run and returns completions plus the
+// drive cadence (exact barriers vs free-running windows).
+func benchSharded(b *testing.B, nodes, jobs, shards int, mean float64) (int, BarrierStats) {
 	wl, err := Scenario("WS4")
 	if err != nil {
 		b.Fatal(err)
@@ -38,7 +39,7 @@ func benchSharded(b *testing.B, nodes, jobs, shards int, mean float64) int {
 	if _, _, err := c.Run(); err != nil {
 		b.Fatal(err)
 	}
-	return len(c.Completed())
+	return len(c.Completed()), c.BarrierStats()
 }
 
 // BenchmarkOnlineShardedCluster is the PR 8 tentpole benchmark: the
@@ -63,11 +64,50 @@ func BenchmarkOnlineShardedCluster(b *testing.B) {
 	completed := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		completed += benchSharded(b, nodes, jobs, shards, mean)
+		n, _ := benchSharded(b, nodes, jobs, shards, mean)
+		completed += n
 	}
 	b.StopTimer()
 	if completed != b.N*jobs {
 		b.Fatalf("completed %d jobs, want %d", completed, b.N*jobs)
 	}
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkBarrierElision measures the elided drive itself: a steal-on
+// stream at half the sharded benchmark's offered load, so wait queues
+// drain between arrival clusters and the control plane alternates
+// between exact barriers (queues non-empty — a thief/victim pairing
+// could exist) and free-running windows (all queues empty — shards
+// drain to the next arrival with no synchronization). Reported metrics:
+// %elided is the share of events fired inside windows rather than under
+// barriers, ns/epoch the mean drive-step cost across both kinds. The
+// guard gates ns/op and allocs/op like every other throughput entry.
+func BenchmarkBarrierElision(b *testing.B) {
+	fixture(b)
+	nodes, jobs, shards := 1024, 20000, 8
+	if testing.Short() {
+		nodes, jobs, shards = 512, 8000, 8
+	}
+	mean := 3072.0 / float64(nodes)
+	completed := 0
+	var stats BarrierStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, s := benchSharded(b, nodes, jobs, shards, mean)
+		completed += n
+		stats.Barriers += s.Barriers
+		stats.Windows += s.Windows
+		stats.WindowEvents += s.WindowEvents
+	}
+	b.StopTimer()
+	if completed != b.N*jobs {
+		b.Fatalf("completed %d jobs, want %d", completed, b.N*jobs)
+	}
+	if stats.Barriers == 0 || stats.WindowEvents == 0 {
+		b.Fatalf("stream exercised only one drive mode: %+v", stats)
+	}
+	epochs := stats.Barriers + stats.Windows
+	b.ReportMetric(100*stats.ElidedRatio(), "%elided")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(epochs), "ns/epoch")
 }

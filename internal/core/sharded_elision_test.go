@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"testing"
+
+	"ecost/internal/flight"
+	"ecost/internal/sim"
+	"ecost/internal/workloads"
+)
+
+// TestShardedElisionMatchesFullBarriers is the tentpole property: for
+// every seed × shard count × steal mode, the barrier-eliding drive
+// (free-running windows wherever no thief/victim pairing can exist)
+// must be byte-identical to the retained full-barrier reference path —
+// makespan and energy bits, per-shard metrics snapshots, span
+// timelines, and decision JSONL. The dense streams force queueing (and
+// steals, when enabled) so the exact-barrier fallback is exercised; the
+// matrix also proves windows actually elided work somewhere, or the
+// property would be vacuous.
+func TestShardedElisionMatchesFullBarriers(t *testing.T) {
+	var elided, barriers, steals int64
+	for _, shards := range []int{2, 4} {
+		for _, steal := range []bool{false, true} {
+			for _, seed := range []int64{1, 7, 42} {
+				cfg := ShardedConfig{Shards: shards, Steal: steal}
+				stream := seededStream(48, seed, 5)
+				label := fmt.Sprintf("shards=%d steal=%v seed=%d", shards, steal, seed)
+				ref := runShardedMode(t, 8, cfg, true, stream)
+				got := runShardedMode(t, 8, cfg, false, stream)
+				if ref.stats.Windows != 0 || ref.stats.WindowEvents != 0 {
+					t.Fatalf("%s: reference path ran %d free windows", label, ref.stats.Windows)
+				}
+				if !steal && got.stats.Barriers != 0 {
+					t.Fatalf("%s: steal-off run still barriered %d times", label, got.stats.Barriers)
+				}
+				elided += got.stats.WindowEvents
+				barriers += got.stats.Barriers
+				steals += int64(got.steals)
+				// The cadences differ by design; every export must not.
+				got.stats = ref.stats
+				shardedExportsEqual(t, label, ref, got)
+			}
+		}
+	}
+	if elided == 0 {
+		t.Fatal("no configuration elided a single barrier — the property is vacuous")
+	}
+	if barriers == 0 {
+		t.Fatal("no steal-on configuration fell back to an exact barrier")
+	}
+	if steals == 0 {
+		t.Fatal("no configuration stole — the steal-on half of the property is vacuous")
+	}
+}
+
+// TestShardedElisionStealExactness pins the eligibility predicate from
+// both sides. A window opens only while every wait queue is empty — the
+// exact condition under which the reference steal pass early-outs — so
+// the elided run must reproduce the reference's steal count on streams
+// engineered to maximize stealing (a single-tenant burst landing on one
+// home shard), and must never open a window before those queues drain.
+// The sparse stream proves the other direction: with queues always
+// empty at the barriers, the run is nearly all windows and an exact
+// barrier fires only at arrival times.
+func TestShardedElisionStealExactness(t *testing.T) {
+	cfg := ShardedConfig{Shards: 4, Steal: true}
+
+	// Burst: every arrival at t=0 on one home shard. Queues are
+	// non-empty from the first barrier until the backlog drains, so no
+	// window may open before the last steal-eligible barrier has run.
+	burst := func(c *ShardedScheduler) {
+		app := workloads.MustByName("wc")
+		for i := 0; i < 32; i++ {
+			c.Submit(app, 5, 0)
+		}
+	}
+	ref := runShardedMode(t, 8, cfg, true, burst)
+	got := runShardedMode(t, 8, cfg, false, burst)
+	if got.steals != ref.steals || got.steals == 0 {
+		t.Fatalf("burst: elided run stole %d, reference %d (want equal, nonzero)", got.steals, ref.steals)
+	}
+	if got.stats.Barriers == 0 {
+		t.Fatal("burst: elided run never fell back to an exact barrier while queues were non-empty")
+	}
+	if got.stats.WindowEvents == 0 {
+		t.Fatal("burst: drained tail never ran as a free window")
+	}
+	gotStats := got.stats
+	got.stats = ref.stats
+	shardedExportsEqual(t, "burst", ref, got)
+
+	// Sparse: arrivals spaced far beyond any runtime. Queues never form,
+	// the reference never steals, and the elided run's only exact
+	// barriers sit at arrival times (each fires at least one arrival).
+	const jobs = 12
+	sparse := func(c *ShardedScheduler) {
+		apps := workloads.Training()
+		for i := 0; i < jobs; i++ {
+			c.Submit(apps[i%len(apps)], 5, float64(i)*5e4)
+		}
+	}
+	ref = runShardedMode(t, 8, cfg, true, sparse)
+	got = runShardedMode(t, 8, cfg, false, sparse)
+	if got.steals != 0 || ref.steals != 0 {
+		t.Fatalf("sparse: steals fired (%d elided, %d reference) on a non-overlapping stream", got.steals, ref.steals)
+	}
+	if got.stats.Barriers > jobs {
+		t.Fatalf("sparse: %d exact barriers for %d arrivals — a barrier ran where no queue could exist", got.stats.Barriers, jobs)
+	}
+	if got.stats.Windows == 0 {
+		t.Fatal("sparse: no free-running window on an empty-queue stream")
+	}
+	got.stats = ref.stats
+	shardedExportsEqual(t, "sparse", ref, got)
+	t.Logf("burst: %d barriers + %d window events (%.0f%% elided); sparse: %d barriers for %d arrivals",
+		gotStats.Barriers, gotStats.WindowEvents, 100*gotStats.ElidedRatio(), got.stats.Barriers, jobs)
+}
+
+// TestShardedFlightPinsFullBarriers proves the flight-recorder
+// contract: epoch records sample every shard at every global event
+// time, which elision cannot reproduce, so attaching a recorder must
+// force the exact cadence — zero windows — and produce dumps
+// byte-identical to an explicit SetFullBarriers run.
+func TestShardedFlightPinsFullBarriers(t *testing.T) {
+	run := func(full bool) (BarrierStats, string) {
+		fixture(t)
+		prof := NewProfiler(fix.model, sim.NewRNG(99))
+		c, err := NewShardedScheduler(fix.model, fix.db, prof,
+			func() STP { return NewMemoSTP(fix.lkt, nil) }, 8,
+			ShardedConfig{Shards: 4, Steal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := flight.New(flight.Config{Shards: 4, ShardNodes: c.ShardNodes()})
+		c.SetFlight(fr)
+		c.SetFullBarriers(full)
+		seededStream(48, 7, 5)(c)
+		if _, _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.BarrierStats(), flightExports(t, fr)
+	}
+	implicit, dumpA := run(false)
+	explicit, dumpB := run(true)
+	if implicit.Windows != 0 || implicit.WindowEvents != 0 {
+		t.Fatalf("flight-attached run opened %d windows (%d events) — epoch records would skip barriers",
+			implicit.Windows, implicit.WindowEvents)
+	}
+	if implicit != explicit {
+		t.Fatalf("flight-attached cadence %+v != explicit full-barrier cadence %+v", implicit, explicit)
+	}
+	if dumpA != dumpB {
+		t.Fatalf("flight exports diverged between implicit and explicit full-barrier runs:\n--- implicit ---\n%s\n--- explicit ---\n%s", dumpA, dumpB)
+	}
+}
+
+// TestRouteShardMatchesFNV pins the inlined routing hash to the library
+// FNV-1a it replaced: any divergence would silently re-home every
+// tenant and break the recorded sweep baselines.
+func TestRouteShardMatchesFNV(t *testing.T) {
+	names := []string{"", "a", "wc", "st", "gp", "ts", "kmeans", "pagerank", "tenant-4711", "Σ/utf8·name"}
+	for _, app := range workloads.Training() {
+		names = append(names, app.Name)
+	}
+	for _, name := range names {
+		for _, shards := range []int{1, 2, 3, 4, 16} {
+			h := fnv.New32a()
+			h.Write([]byte(name))
+			want := int(h.Sum32() % uint32(shards))
+			if got := routeShard(name, shards); got != want {
+				t.Fatalf("routeShard(%q, %d) = %d, library FNV-1a gives %d", name, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedCompletedMerge pins the S-way completion merge against the
+// global sort it replaced: cross-shard finish-time ties break by id,
+// and a shard whose same-instant completions landed out of id order
+// still produces the sorted order via the fallback.
+func TestShardedCompletedMerge(t *testing.T) {
+	fixture(t)
+	build := func() *ShardedScheduler {
+		prof := NewProfiler(fix.model, sim.NewRNG(99))
+		c, err := NewShardedScheduler(fix.model, fix.db, prof,
+			func() STP { return NewMemoSTP(fix.lkt, nil) }, 4, ShardedConfig{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	reference := func(c *ShardedScheduler) []CompletedJob {
+		var out []CompletedJob
+		for _, sh := range c.shards {
+			out = append(out, sh.completed...)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Finished != out[j].Finished {
+				return out[i].Finished < out[j].Finished
+			}
+			return out[i].ID < out[j].ID
+		})
+		return out
+	}
+	check := func(label string, c *ShardedScheduler) {
+		t.Helper()
+		want := reference(c)
+		got := c.Completed()
+		if len(got) != len(want) {
+			t.Fatalf("%s: merged %d jobs, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || math.Float64bits(got[i].Finished) != math.Float64bits(want[i].Finished) {
+				t.Fatalf("%s: position %d: got job %d @%v, want job %d @%v",
+					label, i, got[i].ID, got[i].Finished, want[i].ID, want[i].Finished)
+			}
+		}
+	}
+
+	// Sorted shards with a cross-shard tie at t=30 (ids 5 vs 2).
+	c := build()
+	c.shards[0].completed = []CompletedJob{{ID: 0, Finished: 10}, {ID: 5, Finished: 30}, {ID: 6, Finished: 40}}
+	c.shards[1].completed = []CompletedJob{{ID: 1, Finished: 20}, {ID: 2, Finished: 30}, {ID: 3, Finished: 30}}
+	check("cross-shard ties", c)
+
+	// A same-instant pair out of id order within one shard: the merge
+	// must detect it and fall back to the global sort.
+	c = build()
+	c.shards[0].completed = []CompletedJob{{ID: 9, Finished: 30}, {ID: 4, Finished: 30}}
+	c.shards[1].completed = []CompletedJob{{ID: 1, Finished: 20}}
+	check("within-shard tie fallback", c)
+
+	// Degenerate shapes: one empty shard, then all empty.
+	c = build()
+	c.shards[1].completed = []CompletedJob{{ID: 0, Finished: 5}}
+	check("one empty shard", c)
+	c = build()
+	check("all empty", c)
+}

@@ -22,6 +22,11 @@ type shardedResult struct {
 	perShard         []equivResult
 	steals           int
 	completed        int
+
+	// stats is how the run drove its shards (barriers vs windows). Not
+	// part of export equality — the elision property tests read it to
+	// prove both cadences were actually exercised.
+	stats BarrierStats
 }
 
 // runSharded drives one fully instrumented sharded run. submit feeds
@@ -30,6 +35,13 @@ type shardedResult struct {
 // the shard's registry) so a 1-shard run is comparable byte for byte
 // with the unsharded scheduler.
 func runSharded(t *testing.T, nodes int, cfg ShardedConfig, submit func(c *ShardedScheduler)) shardedResult {
+	return runShardedMode(t, nodes, cfg, false, submit)
+}
+
+// runShardedMode is runSharded with the drive cadence explicit:
+// fullBarriers true selects the exact lock-step reference path the
+// elision goldens diff against.
+func runShardedMode(t *testing.T, nodes int, cfg ShardedConfig, fullBarriers bool, submit func(c *ShardedScheduler)) shardedResult {
 	t.Helper()
 	fixture(t)
 	prof := NewProfiler(fix.model, sim.NewRNG(99))
@@ -53,6 +65,7 @@ func runSharded(t *testing.T, nodes int, cfg ShardedConfig, submit func(c *Shard
 		auds[i] = audit.NewLog(audit.DriftConfig{})
 		sh.SetAudit(auds[i])
 	}
+	c.SetFullBarriers(fullBarriers)
 	submit(c)
 	mk, en, err := c.Run()
 	if err != nil {
@@ -63,6 +76,7 @@ func runSharded(t *testing.T, nodes int, cfg ShardedConfig, submit func(c *Shard
 		energy:    math.Float64bits(en),
 		steals:    c.Steals(),
 		completed: len(c.Completed()),
+		stats:     c.BarrierStats(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		var snap, tl, dec bytes.Buffer
@@ -138,6 +152,9 @@ func shardedExportsEqual(t *testing.T, label string, a, b shardedResult) {
 	if a.makespan != b.makespan || a.energy != b.energy || a.steals != b.steals || a.completed != b.completed {
 		t.Fatalf("%s: scalar divergence: makespan %x/%x energy %x/%x steals %d/%d completed %d/%d",
 			label, a.makespan, b.makespan, a.energy, b.energy, a.steals, b.steals, a.completed, b.completed)
+	}
+	if a.stats != b.stats {
+		t.Fatalf("%s: drive cadence diverged: %+v vs %+v", label, a.stats, b.stats)
 	}
 	for i := range a.perShard {
 		if a.perShard[i] != b.perShard[i] {

@@ -45,10 +45,17 @@ func (h *eventHeap) Pop() any {
 // Engine is a minimal deterministic discrete-event simulation kernel.
 // Events with equal timestamps fire in scheduling order.
 type Engine struct {
-	now    float64
-	seq    int64
-	events eventHeap
-	fired  int64
+	now     float64
+	seq     int64
+	headSeq int64 // negative tiebreakers handed out by AtHead
+	events  eventHeap
+	fired   int64
+
+	// recycle enables the event free-list: fired and cancelled Events
+	// are reused by later At/After/AtHead calls instead of allocated
+	// fresh. See SetRecycle for the aliasing contract.
+	recycle bool
+	free    []*Event
 }
 
 // NewEngine returns a kernel with the clock at zero.
@@ -70,14 +77,56 @@ func (e *Engine) Fired() int64 { return e.fired }
 // Pending reports how many events are scheduled but not yet fired.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// SetRecycle toggles the event free-list: when on, Events retired by
+// Step and Cancel are reused by later At/After/AtHead calls. Recycling
+// changes nothing observable about event ordering, but it does alias
+// Event pointers across logical events — callers must drop every *Event
+// they hold once it has fired or been cancelled (the scheduler's
+// per-node completion event, the only retained handle in this codebase,
+// does exactly that). Off by default; the sharded control plane turns
+// it on for its shard engines.
+func (e *Engine) SetRecycle(v bool) { e.recycle = v }
+
+// alloc returns a zeroed-for-reuse Event, from the free-list when
+// recycling is on and one is available.
+func (e *Engine) alloc(t float64, fn func(), seq int64) *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.At, ev.Fire, ev.seq = t, fn, seq
+		return ev
+	}
+	return &Event{At: t, Fire: fn, seq: seq}
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) is clamped to Now: the event fires next, preserving causality.
 func (e *Engine) At(t float64, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{At: t, Fire: fn, seq: e.seq}
+	ev := e.alloc(t, fn, e.seq)
 	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// AtHead schedules fn at absolute time t ahead of every event scheduled
+// with At/After at the same timestamp, regardless of scheduling order.
+// The scheduler's arrival ring uses it to keep batched arrivals firing
+// before same-instant completions, exactly as per-job arrival events
+// scheduled before the run would have (their submission-time seq always
+// undercuts runtime-scheduled events). Among AtHead events at one
+// timestamp the later-scheduled fires first, so callers keep at most
+// one in flight per engine (the ring schedules its next head event only
+// after the previous one fired).
+func (e *Engine) AtHead(t float64, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.headSeq--
+	ev := e.alloc(t, fn, e.headSeq)
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -98,6 +147,10 @@ func (e *Engine) Cancel(ev *Event) bool {
 	}
 	heap.Remove(&e.events, ev.index)
 	ev.index = -1
+	if e.recycle {
+		ev.Fire = nil
+		e.free = append(e.free, ev)
+	}
 	return true
 }
 
@@ -120,6 +173,19 @@ func (e *Engine) NextAt() (float64, bool) {
 // intervals their own events delimit.
 func (e *Engine) RunThrough(t float64) {
 	for len(e.events) > 0 && e.events[0].At <= t {
+		e.Step()
+	}
+}
+
+// RunBefore fires every event with a timestamp strictly before t, in
+// (At, seq) order, with RunThrough's clock semantics (the clock stops at
+// the last fired event, never at t). The sharded control plane's
+// free-running windows use it: shards drain everything up to — but
+// excluding — the next global arrival time, which is the first instant
+// cross-shard interaction (a steal) could possibly occur. RunBefore(+Inf)
+// drains the engine completely.
+func (e *Engine) RunBefore(t float64) {
+	for len(e.events) > 0 && e.events[0].At < t {
 		e.Step()
 	}
 }
@@ -150,6 +216,12 @@ func (e *Engine) Step() bool {
 	e.now = ev.At
 	e.fired++
 	ev.Fire()
+	if e.recycle {
+		// Retire after Fire so a callback cancelling or inspecting the
+		// firing event never races its own reuse.
+		ev.Fire = nil
+		e.free = append(e.free, ev)
+	}
 	return true
 }
 

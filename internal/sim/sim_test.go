@@ -281,3 +281,85 @@ func TestEngineAdvanceTo(t *testing.T) {
 	}()
 	e.AdvanceTo(7)
 }
+
+func TestEngineRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 2, 3} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	// Strictly before: events at the horizon stay pending.
+	e.RunBefore(2)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("RunBefore(2) fired %v, want [1]", fired)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now = %v after RunBefore(2), want 1", e.Now())
+	}
+	// +Inf drains everything.
+	e.RunBefore(math.Inf(1))
+	if len(fired) != 4 || e.Now() != 3 {
+		t.Fatalf("RunBefore(+Inf) fired %v Now %v, want all 4 events and Now=3", fired, e.Now())
+	}
+}
+
+func TestEngineAtHeadPriority(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	// Scheduled first, but At events at the same timestamp must yield to
+	// a later-scheduled AtHead event.
+	e.At(5, func() { got = append(got, "at") })
+	e.AtHead(5, func() { got = append(got, "head") })
+	e.At(5, func() { got = append(got, "at2") })
+	e.Run(0)
+	if len(got) != 3 || got[0] != "head" || got[1] != "at" || got[2] != "at2" {
+		t.Fatalf("fired %v, want [head at at2]", got)
+	}
+	// Distinct timestamps still order by time.
+	e2 := NewEngine()
+	got = nil
+	e2.AtHead(7, func() { got = append(got, "head7") })
+	e2.At(6, func() { got = append(got, "at6") })
+	e2.Run(0)
+	if len(got) != 2 || got[0] != "at6" || got[1] != "head7" {
+		t.Fatalf("fired %v, want [at6 head7]", got)
+	}
+}
+
+func TestEngineRecycle(t *testing.T) {
+	e := NewEngine()
+	e.SetRecycle(true)
+	var fired []float64
+	ev1 := e.At(1, func() { fired = append(fired, 1) })
+	e.Step()
+	// The fired event must be reused by the next schedule.
+	ev2 := e.At(2, func() { fired = append(fired, 2) })
+	if ev1 != ev2 {
+		t.Fatal("fired event was not recycled by the next At")
+	}
+	// Cancelled events recycle too.
+	if !e.Cancel(ev2) {
+		t.Fatal("Cancel failed on a live event")
+	}
+	ev3 := e.At(3, func() { fired = append(fired, 3) })
+	if ev3 != ev2 {
+		t.Fatal("cancelled event was not recycled by the next At")
+	}
+	e.Run(0)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired %v, want [1 3] (event 2 cancelled)", fired)
+	}
+	// Ordering semantics are unchanged under recycling: interleaved
+	// schedules and cascades fire in (At, seq) order.
+	var got []float64
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.At(11, func() { got = append(got, e.Now()) })
+	})
+	e.At(11, func() { got = append(got, 11.5) }) // seq before the cascade's 11
+	e.Run(0)
+	if len(got) != 3 || got[0] != 10 || got[1] != 11.5 || got[2] != 11 {
+		t.Fatalf("recycled ordering diverged: %v, want [10 11.5 11]", got)
+	}
+}
